@@ -1,0 +1,60 @@
+// Ablation: decision-tree hint generalization (the paper's Section 8
+// future-work extension) under the Section 6.3 noise injection. Repeats
+// the Figure 10 sweep with and without the HintClassTree; the tree groups
+// noisy hint-set variants back into their real classes, recovering part
+// of the performance lost to dilution.
+#include <memory>
+#include <mutex>
+
+#include "bench_util.h"
+#include "sim/trace_ops.h"
+
+namespace clic::bench {
+namespace {
+
+const Trace& NoisyTrace(int t) {
+  static std::mutex mutex;
+  static std::map<int, std::unique_ptr<Trace>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(t);
+  if (it == cache.end()) {
+    Trace noisy = InjectNoiseHints(GetTrace("DB2_C300"), t,
+                                   /*domain_size=*/10, /*zipf_z=*/1.0,
+                                   /*seed=*/0xABC + t);
+    it = cache.emplace(t, std::make_unique<Trace>(std::move(noisy))).first;
+  }
+  return *it->second;
+}
+
+void Generalize(benchmark::State& state, int t, bool with_tree) {
+  const Trace& trace = NoisyTrace(t);
+  ClicOptions options = PaperClicOptions();
+  options.tracker = TrackerKind::kSpaceSaving;
+  options.top_k = 100;
+  if (with_tree) {
+    options.generalize = true;
+    options.hint_space = trace.hints;
+  }
+  RunPoint(state, trace, PolicyKind::kClic, 18'000, options);
+}
+
+void RegisterAll() {
+  for (int t : {0, 1, 2, 3}) {
+    for (bool with_tree : {false, true}) {
+      const std::string name = "AblationGeneralize/DB2_C300/T=" +
+                               std::to_string(t) +
+                               (with_tree ? "/tree" : "/plain");
+      benchmark::RegisterBenchmark(
+          name.c_str(), [t, with_tree](benchmark::State& s) {
+            Generalize(s, t, with_tree);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+const int registered = (RegisterAll(), 0);
+
+}  // namespace
+}  // namespace clic::bench

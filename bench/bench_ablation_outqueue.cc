@@ -1,0 +1,31 @@
+// Ablation: outqueue size. The paper fixes Noutq at 5 entries per cache
+// page (Section 6.1); this bench sweeps 0..10 entries per page on the
+// DB2_C300 trace to show the sensitivity of CLIC's re-reference detection
+// to its tracking memory.
+#include "bench_util.h"
+
+namespace clic::bench {
+namespace {
+
+void Outqueue(benchmark::State& state, double per_page) {
+  ClicOptions options = PaperClicOptions();
+  options.outqueue_per_page = per_page;
+  RunPoint(state, GetTrace("DB2_C300"), PolicyKind::kClic, 12'000, options);
+}
+
+void RegisterAll() {
+  for (double per_page : {0.0, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    const std::string name =
+        "AblationOutqueue/DB2_C300/per_page=" + std::to_string(per_page);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [per_page](benchmark::State& s) { Outqueue(s, per_page); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+const int registered = (RegisterAll(), 0);
+
+}  // namespace
+}  // namespace clic::bench

@@ -1,0 +1,55 @@
+// Ablation: hint-statistics backend. The paper chose Space-Saving for its
+// top-k filtering (Section 5, citing the Cormode/Hadjieleftheriou study);
+// this bench compares exact tracking, Space-Saving and Lossy Counting at
+// equivalent memory budgets on an OLTP and a DSS trace.
+#include "bench_util.h"
+
+namespace clic::bench {
+namespace {
+
+void Tracker(benchmark::State& state, const std::string& trace,
+             TrackerKind kind, std::size_t k) {
+  ClicOptions options = PaperClicOptions();
+  options.tracker = kind;
+  options.top_k = k;
+  RunPoint(state, GetTrace(trace), PolicyKind::kClic, 12'000, options);
+}
+
+const char* KindName(TrackerKind kind) {
+  switch (kind) {
+    case TrackerKind::kExact:
+      return "exact";
+    case TrackerKind::kSpaceSaving:
+      return "space_saving";
+    case TrackerKind::kLossyCounting:
+      return "lossy_counting";
+  }
+  return "?";
+}
+
+void RegisterAll() {
+  for (const char* trace : {"DB2_C300", "DB2_H400"}) {
+    for (TrackerKind kind :
+         {TrackerKind::kExact, TrackerKind::kSpaceSaving,
+          TrackerKind::kLossyCounting}) {
+      for (std::size_t k : {10u, 100u}) {
+        if (kind == TrackerKind::kExact && k != 10) continue;  // k unused
+        const std::string name =
+            std::string("AblationTracker/") + trace + "/" + KindName(kind) +
+            (kind == TrackerKind::kExact ? "" : "/k=" + std::to_string(k));
+        benchmark::RegisterBenchmark(
+            name.c_str(), [trace = std::string(trace), kind,
+                           k](benchmark::State& s) {
+              Tracker(s, trace, kind, k);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+const int registered = (RegisterAll(), 0);
+
+}  // namespace
+}  // namespace clic::bench

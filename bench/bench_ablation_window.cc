@@ -1,0 +1,34 @@
+// Ablation: window length W and decay rate r (Section 3.2). The paper
+// fixes W = 1e6 (1e5 at our 1/10 scale) and r = 1; this bench sweeps both
+// on the DB2_C300 trace, quantifying how reactivity vs stability of the
+// priority estimates affects the hit ratio.
+#include "bench_util.h"
+
+namespace clic::bench {
+namespace {
+
+void Window(benchmark::State& state, std::uint64_t w, double r) {
+  ClicOptions options = PaperClicOptions();
+  options.window = w;
+  options.decay = r;
+  RunPoint(state, GetTrace("DB2_C300"), PolicyKind::kClic, 12'000, options);
+}
+
+void RegisterAll() {
+  for (std::uint64_t w : {25'000u, 50'000u, 100'000u, 200'000u, 400'000u}) {
+    for (double r : {0.25, 0.5, 1.0}) {
+      const std::string name = "AblationWindow/DB2_C300/W=" +
+                               std::to_string(w) + "/r=" + std::to_string(r);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [w, r](benchmark::State& s) { Window(s, w, r); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+const int registered = (RegisterAll(), 0);
+
+}  // namespace
+}  // namespace clic::bench

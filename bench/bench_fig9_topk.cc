@@ -1,0 +1,43 @@
+// Figure 9: effect of top-k hint-set filtering (Section 5) on the read
+// hit ratio, for the DB2 TPC-C and TPC-H traces with an 18K-page server
+// cache (1/10 of the paper's 180K). k sweeps 1..128 plus "all" (exact
+// tracking), mirroring the paper's log-scale x axis.
+#include "bench_util.h"
+
+namespace clic::bench {
+namespace {
+
+void Fig9(benchmark::State& state, const std::string& trace_name,
+          std::size_t k) {
+  ClicOptions options = PaperClicOptions();
+  if (k == 0) {
+    options.tracker = TrackerKind::kExact;  // "all hint sets" reference
+  } else {
+    options.tracker = TrackerKind::kSpaceSaving;
+    options.top_k = k;
+  }
+  RunPoint(state, GetTrace(trace_name), PolicyKind::kClic, 18'000, options);
+}
+
+void RegisterAll() {
+  for (const char* trace : {"DB2_C60", "DB2_C300", "DB2_C540", "DB2_H80",
+                            "DB2_H400", "DB2_H720"}) {
+    for (std::size_t k : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 0u}) {
+      const std::string name = std::string("Fig9/") + trace + "/k=" +
+                               (k == 0 ? std::string("all")
+                                       : std::to_string(k));
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [trace = std::string(trace), k](benchmark::State& s) {
+            Fig9(s, trace, k);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+const int registered = (RegisterAll(), 0);
+
+}  // namespace
+}  // namespace clic::bench

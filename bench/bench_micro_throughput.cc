@@ -1,0 +1,95 @@
+// Microbenchmarks: per-request cost of every replacement policy and of
+// the Space-Saving tracker. These bound the overhead the paper argues is
+// "small" (constant expected time per request, Section 4) and support the
+// claim that CLIC's adaptivity is cheap.
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "stream/lossy_counting.h"
+#include "stream/space_saving.h"
+
+namespace clic::bench {
+namespace {
+
+Trace SyntheticTrace(std::size_t n) {
+  Trace trace;
+  Rng rng(0xBEEF);
+  ZipfGenerator zipf(100'000, 0.9);
+  std::vector<HintSetId> hints;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    hints.push_back(trace.hints->Intern(HintVector{0, {i}}));
+  }
+  trace.requests.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Request r;
+    r.page = zipf(rng);
+    r.hint_set = hints[r.page % hints.size()];
+    if (rng.Chance(0.3)) {
+      r.op = OpType::kWrite;
+      r.write_kind =
+          rng.Chance(0.5) ? WriteKind::kReplacement : WriteKind::kRecovery;
+    }
+    trace.requests.push_back(r);
+  }
+  return trace;
+}
+
+const Trace& SharedSynthetic() {
+  static const Trace trace = SyntheticTrace(1'000'000);
+  return trace;
+}
+
+void PolicyThroughput(benchmark::State& state, PolicyKind kind) {
+  const Trace& trace = SharedSynthetic();
+  for (auto _ : state) {
+    auto policy = MakePolicy(kind, 16'384, &trace, PaperClicOptions());
+    benchmark::DoNotOptimize(Simulate(trace, *policy));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+
+void RegisterPolicies() {
+  for (PolicyKind kind :
+       {PolicyKind::kLru, PolicyKind::kClock, PolicyKind::kArc,
+        PolicyKind::kTwoQ, PolicyKind::kMq, PolicyKind::kTq,
+        PolicyKind::kClic, PolicyKind::kOpt}) {
+    const std::string name =
+        std::string("Micro/requests_per_second/") +
+        std::string(PolicyName(kind));
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [kind](benchmark::State& s) {
+                                   PolicyThroughput(s, kind);
+                                 })
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+const int registered = (RegisterPolicies(), 0);
+
+void SpaceSavingOffer(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  ZipfGenerator zipf(100'000, 1.0);
+  SpaceSaving<std::uint64_t> ss(k);
+  for (auto _ : state) {
+    ss.Offer(zipf(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(SpaceSavingOffer)->Arg(10)->Arg(100)->Arg(1000);
+
+void LossyCountingOffer(benchmark::State& state) {
+  const double epsilon = 1.0 / static_cast<double>(state.range(0));
+  Rng rng(7);
+  ZipfGenerator zipf(100'000, 1.0);
+  LossyCounting<std::uint64_t> lc(epsilon);
+  for (auto _ : state) {
+    lc.Offer(zipf(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(LossyCountingOffer)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace clic::bench

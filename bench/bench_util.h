@@ -1,0 +1,97 @@
+// Shared infrastructure for the figure/table benches.
+//
+// Traces are generated at the DESIGN.md scaled lengths (capped by the
+// CLIC_BENCH_REQUESTS environment variable if set) and cached on disk
+// under CLIC_TRACE_CACHE_DIR (default: ./clic_trace_cache), so the twelve
+// bench binaries do not regenerate the same workloads.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <sys/stat.h>
+
+#include "sim/policy_factory.h"
+#include "sim/simulator.h"
+#include "sim/trace_io.h"
+#include "workload/trace_factory.h"
+
+namespace clic::bench {
+
+inline std::uint64_t RequestCap() {
+  if (const char* env = std::getenv("CLIC_BENCH_REQUESTS")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 2'000'000;  // keeps the full bench suite within minutes
+}
+
+inline std::string CacheDir() {
+  if (const char* env = std::getenv("CLIC_TRACE_CACHE_DIR")) return env;
+  return "clic_trace_cache";
+}
+
+/// Returns the named trace, generated once per process and cached on disk
+/// across processes. Thread-safe.
+inline const Trace& GetTrace(const std::string& name) {
+  static std::mutex mutex;
+  static std::map<std::string, std::unique_ptr<Trace>> traces;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = traces.find(name);
+  if (it != traces.end()) return *it->second;
+
+  std::uint64_t target = 0;
+  for (const NamedTraceInfo& info : NamedTraces()) {
+    if (info.name == name) target = info.target_requests;
+  }
+  target = std::min(target, RequestCap());
+
+  const std::string dir = CacheDir();
+  ::mkdir(dir.c_str(), 0755);
+  const std::string path =
+      dir + "/" + name + "_" + std::to_string(target) + ".trc";
+  if (auto loaded = LoadTrace(path, name)) {
+    it = traces.emplace(name, std::make_unique<Trace>(std::move(*loaded)))
+             .first;
+    return *it->second;
+  }
+  Trace generated = MakeNamedTrace(name, target);
+  SaveTrace(generated, path);
+  it = traces.emplace(name, std::make_unique<Trace>(std::move(generated)))
+           .first;
+  return *it->second;
+}
+
+/// CLIC options used throughout the evaluation (paper Section 6.1):
+/// W scaled to 1e5, r = 1, Noutq = 5 per page, 1% metadata charge.
+inline ClicOptions PaperClicOptions() {
+  ClicOptions options;
+  options.window = 100'000;
+  options.decay = 1.0;
+  options.outqueue_per_page = 5.0;
+  options.charge_metadata = true;
+  return options;
+}
+
+/// Runs one (trace, policy, cache size) point and records the read hit
+/// ratio as the benchmark's principal counter.
+inline void RunPoint(benchmark::State& state, const Trace& trace,
+                     PolicyKind kind, std::size_t cache_pages,
+                     const ClicOptions& options = PaperClicOptions()) {
+  SimResult result;
+  for (auto _ : state) {
+    auto policy = MakePolicy(kind, cache_pages, &trace, options);
+    result = Simulate(trace, *policy);
+  }
+  state.counters["read_hit_ratio"] = result.total.ReadHitRatio();
+  state.counters["reads"] = static_cast<double>(result.total.reads);
+  state.counters["requests"] =
+      static_cast<double>(result.total.reads + result.total.writes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(trace.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+
+}  // namespace clic::bench
