@@ -48,6 +48,11 @@ void PolicyThroughput(benchmark::State& state, PolicyKind kind) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(trace.size()));
+  // requests/sec, the guardrail number bench/README.md tracks per policy.
+  state.counters["requests_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(trace.size()),
+      benchmark::Counter::kIsRate);
 }
 
 void RegisterPolicies() {

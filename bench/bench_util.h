@@ -2,13 +2,16 @@
 //
 // Traces are generated at the DESIGN.md scaled lengths (capped by the
 // CLIC_BENCH_REQUESTS environment variable if set) and cached on disk
-// under CLIC_TRACE_CACHE_DIR (default: ./clic_trace_cache), so the twelve
-// bench binaries do not regenerate the same workloads.
+// under CLIC_TRACE_CACHE_DIR (default: ./clic_trace_cache), so the
+// fourteen bench binaries do not regenerate the same workloads.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -23,10 +26,20 @@
 namespace clic::bench {
 
 inline std::uint64_t RequestCap() {
-  if (const char* env = std::getenv("CLIC_BENCH_REQUESTS")) {
-    return std::strtoull(env, nullptr, 10);
+  constexpr std::uint64_t kDefault = 2'000'000;  // full suite in minutes
+  const char* env = std::getenv("CLIC_BENCH_REQUESTS");
+  if (env == nullptr || *env == '\0') return kDefault;
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(env, &end, 10);
+  if (errno != 0 || end == env || *end != '\0' || value == 0) {
+    std::fprintf(stderr,
+                 "CLIC_BENCH_REQUESTS='%s' is not a positive integer; "
+                 "using default %llu\n",
+                 env, static_cast<unsigned long long>(kDefault));
+    return kDefault;
   }
-  return 2'000'000;  // keeps the full bench suite within minutes
+  return value;
 }
 
 inline std::string CacheDir() {
@@ -35,7 +48,8 @@ inline std::string CacheDir() {
 }
 
 /// Returns the named trace, generated once per process and cached on disk
-/// across processes. Thread-safe.
+/// across processes. Thread-safe. Unknown names abort: silently replaying
+/// an empty trace would report fake hit ratios.
 inline const Trace& GetTrace(const std::string& name) {
   static std::mutex mutex;
   static std::map<std::string, std::unique_ptr<Trace>> traces;
@@ -44,22 +58,41 @@ inline const Trace& GetTrace(const std::string& name) {
   if (it != traces.end()) return *it->second;
 
   std::uint64_t target = 0;
+  bool known = false;
   for (const NamedTraceInfo& info : NamedTraces()) {
-    if (info.name == name) target = info.target_requests;
+    if (info.name == name) {
+      target = info.target_requests;
+      known = true;
+    }
+  }
+  if (!known) {
+    std::fprintf(stderr, "GetTrace: unknown trace '%s' (see NamedTraces())\n",
+                 name.c_str());
+    std::exit(1);
   }
   target = std::min(target, RequestCap());
 
   const std::string dir = CacheDir();
-  ::mkdir(dir.c_str(), 0755);
-  const std::string path =
-      dir + "/" + name + "_" + std::to_string(target) + ".trc";
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "GetTrace: mkdir('%s') failed: %s\n", dir.c_str(),
+                 std::strerror(errno));
+    std::exit(1);
+  }
+  // Cache key = name + target length + generator version: any of the
+  // three changing invalidates the cached file.
+  const std::string path = dir + "/" + name + "_" +
+                           std::to_string(target) + "_g" +
+                           std::to_string(kTraceGeneratorVersion) + ".trc";
   if (auto loaded = LoadTrace(path, name)) {
     it = traces.emplace(name, std::make_unique<Trace>(std::move(*loaded)))
              .first;
     return *it->second;
   }
   Trace generated = MakeNamedTrace(name, target);
-  SaveTrace(generated, path);
+  if (!SaveTrace(generated, path)) {
+    std::fprintf(stderr, "GetTrace: warning: could not cache trace to %s\n",
+                 path.c_str());
+  }
   it = traces.emplace(name, std::make_unique<Trace>(std::move(generated)))
            .first;
   return *it->second;

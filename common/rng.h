@@ -1,0 +1,144 @@
+// Deterministic random number generation for workload synthesis and the
+// microbenchmarks. Everything here is seed-stable across platforms: the
+// same seed always yields the same stream, which is what makes cached
+// .trc files reproducible across machines (see DESIGN.md, "Determinism").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace clic {
+
+/// splitmix64-seeded xoshiro256** generator. Small, fast, and entirely
+/// self-contained so trace generation never depends on the C++ standard
+/// library's unspecified distribution implementations.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 to spread an arbitrary seed over the full state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() { return Next(); }
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+  /// True with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+/// Zipf(n, theta) sampler over [0, n). Rank 0 is the most popular item;
+/// theta = 0 degenerates to uniform.
+///
+/// For theta < 1 this uses the Gray et al. method (precomputed zeta
+/// constants, O(1) per sample). The Gray approximation breaks down as
+/// theta -> 1 (alpha = 1/(1-theta) diverges), so for theta >= ~1 the
+/// sampler switches to exact CDF inversion with a binary search
+/// (O(log n) per sample, still allocation-free after construction).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+    if (theta_ < kGrayLimit) {
+      zetan_ = Zeta(n_, theta_);
+      const double zeta2 = Zeta(2, theta_);
+      alpha_ = 1.0 / (1.0 - theta_);
+      eta_ = (1.0 - Pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+             (1.0 - zeta2 / zetan_);
+    } else {
+      cdf_.resize(n_);
+      double sum = 0.0;
+      for (std::uint64_t i = 0; i < n_; ++i) {
+        sum += 1.0 / Pow(static_cast<double>(i + 1), theta_);
+        cdf_[i] = sum;
+      }
+      for (double& c : cdf_) c /= sum;
+    }
+  }
+
+  std::uint32_t operator()(Rng& rng) {
+    const double u = rng.NextDouble();
+    if (!cdf_.empty()) {
+      // Exact inversion: first rank whose CDF exceeds u.
+      std::size_t lo = 0, hi = cdf_.size() - 1;
+      while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (cdf_[mid] < u) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      return static_cast<std::uint32_t>(lo);
+    }
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + Pow(0.5, theta_)) return 1;
+    const double v =
+        static_cast<double>(n_) * Pow(eta_ * u - eta_ + 1.0, alpha_);
+    std::uint64_t rank = static_cast<std::uint64_t>(v);
+    if (rank >= n_) rank = n_ - 1;
+    return static_cast<std::uint32_t>(rank);
+  }
+
+  std::uint64_t domain() const { return n_; }
+
+ private:
+  // Above this skew the Gray approximation is unusable; empirically it
+  // is accurate for the theta <= 0.95 range the trace factory uses.
+  static constexpr double kGrayLimit = 0.99;
+
+  static double Pow(double base, double exp);
+  static double Zeta(std::uint64_t n, double theta);
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+  std::vector<double> cdf_;  // non-empty selects exact inversion
+};
+
+inline double ZipfGenerator::Pow(double base, double exp) {
+  return __builtin_pow(base, exp);
+}
+
+inline double ZipfGenerator::Zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / Pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace clic

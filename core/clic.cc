@@ -1,0 +1,407 @@
+#include "core/clic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/hint_tree.h"
+
+namespace clic {
+
+ClicPolicy::ClicPolicy(std::size_t cache_pages, ClicOptions options)
+    : options_(std::move(options)) {
+  cache_pages = std::max<std::size_t>(1, cache_pages);
+  outqueue_capacity_ = static_cast<std::size_t>(
+      std::llround(std::max(0.0, options_.outqueue_per_page) *
+                   static_cast<double>(cache_pages)));
+  cache_capacity_ = cache_pages;
+  if (options_.charge_metadata) {
+    // Each outqueue entry costs ~1% of a page of metadata; the paper
+    // charges CLIC for that space instead of letting it track for free.
+    const std::size_t meta = (outqueue_capacity_ + 99) / 100;
+    cache_capacity_ = cache_pages > meta ? cache_pages - meta : 1;
+  }
+  if (options_.window == 0) options_.window = 1;
+  next_window_end_ = options_.window;
+
+  slots_.resize(cache_capacity_ + outqueue_capacity_);
+  free_slots_.reserve(slots_.size());
+  for (std::size_t i = slots_.size(); i-- > 0;) {
+    free_slots_.push_back(static_cast<std::uint32_t>(i));
+  }
+  buckets_.assign(1, List{});
+  bitmap_.assign(1, 0);
+  bitmap_summary_.assign(1, 0);
+
+  if (options_.tracker == TrackerKind::kSpaceSaving) {
+    space_saving_ = std::make_unique<SpaceSaving<HintSetId>>(
+        std::max<std::size_t>(1, options_.top_k));
+  } else if (options_.tracker == TrackerKind::kLossyCounting) {
+    lossy_counting_ = std::make_unique<LossyCounting<HintSetId>>(
+        1.0 / static_cast<double>(std::max<std::size_t>(1, options_.top_k)));
+  }
+}
+
+ClicPolicy::~ClicPolicy() = default;
+
+void ClicPolicy::EnsureHint(HintSetId h) {
+  if (h < hints_.size()) return;
+  const std::size_t n = static_cast<std::size_t>(h) + 1;
+  hints_.refs_w.resize(n, 0);
+  hints_.rerefs_w.resize(n, 0);
+  hints_.cur.resize(n, 0);
+  hints_.area.resize(n, 0);
+  hints_.last_change.resize(n, window_start_);
+  hints_.acc_r.resize(n, 0.0);
+  hints_.acc_s.resize(n, 0.0);
+  hints_.priority.resize(n, 0.0);
+  hints_.rank.resize(n, 0);
+}
+
+void ClicPolicy::FlushArea(HintSetId h, SeqNum now) {
+  hints_.area[h] += static_cast<std::uint64_t>(hints_.cur[h]) *
+                    (now - hints_.last_change[h]);
+  hints_.last_change[h] = now;
+}
+
+void ClicPolicy::Annotate(Slot& slot, HintSetId hint, SeqNum now) {
+  if (slot.hint == hint) return;
+  FlushArea(slot.hint, now);
+  --hints_.cur[slot.hint];
+  FlushArea(hint, now);
+  ++hints_.cur[hint];
+  slot.hint = hint;
+}
+
+// ---- intrusive lists ------------------------------------------------------
+
+void ClicPolicy::GListPushFront(List& list, std::uint32_t i) {
+  slots_[i].g_prev = kInvalidIndex;
+  slots_[i].g_next = list.head;
+  if (list.head != kInvalidIndex) slots_[list.head].g_prev = i;
+  list.head = i;
+  if (list.tail == kInvalidIndex) list.tail = i;
+  ++list.size;
+}
+
+void ClicPolicy::GListRemove(List& list, std::uint32_t i) {
+  if (slots_[i].g_prev != kInvalidIndex) {
+    slots_[slots_[i].g_prev].g_next = slots_[i].g_next;
+  } else {
+    list.head = slots_[i].g_next;
+  }
+  if (slots_[i].g_next != kInvalidIndex) {
+    slots_[slots_[i].g_next].g_prev = slots_[i].g_prev;
+  } else {
+    list.tail = slots_[i].g_prev;
+  }
+  slots_[i].g_prev = slots_[i].g_next = kInvalidIndex;
+  --list.size;
+}
+
+std::uint32_t ClicPolicy::GListPopBack(List& list) {
+  const std::uint32_t i = list.tail;
+  GListRemove(list, i);
+  return i;
+}
+
+void ClicPolicy::BucketPushFront(std::uint32_t rank, std::uint32_t i) {
+  List& b = buckets_[rank];
+  slots_[i].b_prev = kInvalidIndex;
+  slots_[i].b_next = b.head;
+  if (b.head != kInvalidIndex) slots_[b.head].b_prev = i;
+  b.head = i;
+  if (b.tail == kInvalidIndex) b.tail = i;
+  if (++b.size == 1) BitmapSet(rank);
+}
+
+void ClicPolicy::BucketPushBack(std::uint32_t rank, std::uint32_t i) {
+  List& b = buckets_[rank];
+  slots_[i].b_next = kInvalidIndex;
+  slots_[i].b_prev = b.tail;
+  if (b.tail != kInvalidIndex) slots_[b.tail].b_next = i;
+  b.tail = i;
+  if (b.head == kInvalidIndex) b.head = i;
+  if (++b.size == 1) BitmapSet(rank);
+}
+
+void ClicPolicy::BucketRemove(std::uint32_t rank, std::uint32_t i) {
+  List& b = buckets_[rank];
+  if (slots_[i].b_prev != kInvalidIndex) {
+    slots_[slots_[i].b_prev].b_next = slots_[i].b_next;
+  } else {
+    b.head = slots_[i].b_next;
+  }
+  if (slots_[i].b_next != kInvalidIndex) {
+    slots_[slots_[i].b_next].b_prev = slots_[i].b_prev;
+  } else {
+    b.tail = slots_[i].b_prev;
+  }
+  slots_[i].b_prev = slots_[i].b_next = kInvalidIndex;
+  if (--b.size == 0) BitmapClear(rank);
+}
+
+void ClicPolicy::BitmapSet(std::uint32_t rank) {
+  const std::uint32_t word = rank >> 6;
+  bitmap_[word] |= 1ull << (rank & 63);
+  bitmap_summary_[word >> 6] |= 1ull << (word & 63);
+}
+
+void ClicPolicy::BitmapClear(std::uint32_t rank) {
+  const std::uint32_t word = rank >> 6;
+  bitmap_[word] &= ~(1ull << (rank & 63));
+  if (bitmap_[word] == 0) {
+    bitmap_summary_[word >> 6] &= ~(1ull << (word & 63));
+  }
+}
+
+std::uint32_t ClicPolicy::FindVictimRank() const {
+  for (std::uint32_t sw = 0; sw < bitmap_summary_.size(); ++sw) {
+    if (bitmap_summary_[sw] == 0) continue;
+    const std::uint32_t word =
+        (sw << 6) + static_cast<std::uint32_t>(
+                        __builtin_ctzll(bitmap_summary_[sw]));
+    return (word << 6) +
+           static_cast<std::uint32_t>(__builtin_ctzll(bitmap_[word]));
+  }
+  return 0;  // unreachable while the cache holds pages
+}
+
+// ---- cache mechanics ------------------------------------------------------
+
+void ClicPolicy::EvictOne(SeqNum now) {
+  const std::uint32_t rank = FindVictimRank();
+  const std::uint32_t si = buckets_[rank].tail;
+  BucketRemove(rank, si);
+  GListRemove(global_, si);
+  Slot& s = slots_[si];
+  if (outqueue_capacity_ > 0) {
+    // The page's metadata stays tracked in the outqueue so a re-reference
+    // still credits its hint set.
+    s.state = SlotState::kOutqueue;
+    GListPushFront(outqueue_, si);
+    if (outqueue_.size > outqueue_capacity_) {
+      const std::uint32_t drop = GListPopBack(outqueue_);
+      Slot& d = slots_[drop];
+      FlushArea(d.hint, now);
+      --hints_.cur[d.hint];
+      page_table_.Clear(d.page);
+      d.state = SlotState::kFree;
+      free_slots_.push_back(drop);
+    }
+  } else {
+    FlushArea(s.hint, now);
+    --hints_.cur[s.hint];
+    page_table_.Clear(s.page);
+    s.state = SlotState::kFree;
+    free_slots_.push_back(si);
+  }
+}
+
+void ClicPolicy::InsertCached(std::uint32_t slot_index, SeqNum now) {
+  if (global_.size >= cache_capacity_) EvictOne(now);
+  Slot& s = slots_[slot_index];
+  s.state = SlotState::kCached;
+  GListPushFront(global_, slot_index);
+  BucketPushFront(hints_.rank[s.hint], slot_index);
+}
+
+bool ClicPolicy::Access(const Request& r, SeqNum seq) {
+  if (seq >= next_window_end_) EndWindow(next_window_end_);
+  last_seq_ = seq;
+  EnsureHint(r.hint_set);
+  ++hints_.refs_w[r.hint_set];
+  if (space_saving_) {
+    space_saving_->Offer(r.hint_set);
+  } else if (lossy_counting_) {
+    lossy_counting_->Offer(r.hint_set);
+  }
+
+  const std::uint32_t si = page_table_.Get(r.page);
+  if (si != kInvalidIndex) {
+    Slot& s = slots_[si];
+    // Re-reference: credit the hint set that annotated the page.
+    ++hints_.rerefs_w[s.hint];
+    if (s.state == SlotState::kCached) {
+      const std::uint32_t old_rank = hints_.rank[s.hint];
+      Annotate(s, r.hint_set, seq);
+      if (global_.head != si) {
+        GListRemove(global_, si);
+        GListPushFront(global_, si);
+      }
+      BucketRemove(old_rank, si);
+      BucketPushFront(hints_.rank[s.hint], si);
+      return true;
+    }
+    // Outqueue hit: a miss for the cache, but the page re-enters it.
+    GListRemove(outqueue_, si);
+    Annotate(s, r.hint_set, seq);
+    InsertCached(si, seq);
+    return false;
+  }
+
+  // Cold miss: the page becomes annotated with the request's hint set.
+  FlushArea(r.hint_set, seq);
+  ++hints_.cur[r.hint_set];
+  if (free_slots_.empty()) EvictOne(seq);  // trims the outqueue, frees a slot
+  const std::uint32_t node = free_slots_.back();
+  free_slots_.pop_back();
+  Slot& s = slots_[node];
+  s.page = r.page;
+  s.hint = r.hint_set;
+  s.g_prev = s.g_next = s.b_prev = s.b_next = kInvalidIndex;
+  page_table_.Set(r.page, node);
+  InsertCached(node, seq);
+  return false;
+}
+
+// ---- window analysis (Equation 2) -----------------------------------------
+
+void ClicPolicy::EndWindow(SeqNum end) {
+  const std::uint64_t length = end - window_start_;
+  next_window_end_ = end + options_.window;
+  if (length == 0) return;
+  const std::size_t n = hints_.size();
+  for (std::size_t h = 0; h < n; ++h) {
+    if (hints_.cur[h]) FlushArea(static_cast<HintSetId>(h), end);
+  }
+
+  // Which hint sets get priorities at all (Section 5 top-k filtering).
+  const bool exact = options_.tracker == TrackerKind::kExact;
+  std::vector<std::uint8_t> eligible;
+  if (!exact) {
+    eligible.assign(n, 0);
+    if (space_saving_) {
+      for (const auto& e : space_saving_->Items()) {
+        if (e.item < n) eligible[e.item] = 1;
+      }
+    } else if (lossy_counting_) {
+      std::size_t taken = 0;
+      for (const auto& e : lossy_counting_->Items()) {
+        if (taken++ >= options_.top_k) break;
+        if (e.item < n) eligible[e.item] = 1;
+      }
+    }
+  }
+
+  // Per-hint window statistics: R = re-references credited to the hint
+  // set, S = time-averaged number of tracked pages it annotated.
+  std::vector<double> win_r(n), win_s(n);
+  for (std::size_t h = 0; h < n; ++h) {
+    win_r[h] = static_cast<double>(hints_.rerefs_w[h]);
+    win_s[h] = static_cast<double>(hints_.area[h]) /
+               static_cast<double>(length);
+  }
+
+  if (options_.generalize && options_.hint_space) {
+    // Pool statistics over decision-tree classes; every member of a
+    // class shares the pooled Equation-2 estimate, and top-k filtering
+    // applies to classes instead of raw hint sets.
+    std::vector<HintSample> samples;
+    samples.reserve(n);
+    for (std::size_t h = 0; h < n; ++h) {
+      if (hints_.refs_w[h] == 0) continue;
+      HintSample s;
+      s.hint = static_cast<HintSetId>(h);
+      s.weight = hints_.refs_w[h];
+      s.rate = static_cast<double>(hints_.rerefs_w[h]) /
+               static_cast<double>(hints_.refs_w[h]);
+      samples.push_back(s);
+    }
+    HintClassTree tree(*options_.hint_space, samples);
+    const std::uint32_t classes = tree.num_classes();
+    std::vector<double> class_r(classes, 0.0), class_s(classes, 0.0);
+    std::vector<std::uint64_t> class_refs(classes, 0);
+    for (const HintSample& s : samples) {
+      const std::uint32_t c = tree.ClassOf(s.hint);
+      class_r[c] += win_r[s.hint];
+      class_s[c] += win_s[s.hint];
+      class_refs[c] += s.weight;
+    }
+    std::vector<std::uint8_t> class_ok(classes, 1);
+    if (!exact && classes > options_.top_k) {
+      std::vector<std::uint32_t> order(classes);
+      for (std::uint32_t c = 0; c < classes; ++c) order[c] = c;
+      std::sort(order.begin(), order.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  if (class_refs[a] != class_refs[b]) {
+                    return class_refs[a] > class_refs[b];
+                  }
+                  return a < b;
+                });
+      class_ok.assign(classes, 0);
+      for (std::size_t i = 0; i < options_.top_k; ++i) class_ok[order[i]] = 1;
+    }
+    if (!exact) eligible.assign(n, 0);
+    for (const HintSample& s : samples) {
+      const std::uint32_t c = tree.ClassOf(s.hint);
+      win_r[s.hint] = class_r[c];
+      win_s[s.hint] = class_s[c];
+      if (!exact && class_ok[c]) eligible[s.hint] = 1;
+    }
+  }
+
+  for (std::size_t h = 0; h < n; ++h) {
+    hints_.acc_r[h] = win_r[h] + options_.decay * hints_.acc_r[h];
+    hints_.acc_s[h] = win_s[h] + options_.decay * hints_.acc_s[h];
+    const bool ok = exact || eligible[h];
+    hints_.priority[h] =
+        (ok && hints_.acc_s[h] > 0.0) ? hints_.acc_r[h] / hints_.acc_s[h]
+                                      : 0.0;
+  }
+
+  // Rank hint sets: rank 0 collects everything with zero priority (those
+  // pages are evicted first, in global-LRU order); positive priorities
+  // get ranks in ascending order.
+  std::vector<std::pair<double, HintSetId>> positive;
+  for (std::size_t h = 0; h < n; ++h) {
+    if (hints_.priority[h] > 0.0) {
+      positive.emplace_back(hints_.priority[h], static_cast<HintSetId>(h));
+    }
+    hints_.rank[h] = 0;
+  }
+  std::sort(positive.begin(), positive.end());
+  num_ranks_ = static_cast<std::uint32_t>(positive.size()) + 1;
+  for (std::uint32_t i = 0; i < positive.size(); ++i) {
+    hints_.rank[positive[i].second] = i + 1;
+  }
+  RebuildBuckets();
+
+  // Reset the window.
+  std::fill(hints_.refs_w.begin(), hints_.refs_w.end(), 0);
+  std::fill(hints_.rerefs_w.begin(), hints_.rerefs_w.end(), 0);
+  std::fill(hints_.area.begin(), hints_.area.end(), 0);
+  std::fill(hints_.last_change.begin(), hints_.last_change.end(), end);
+  if (space_saving_) space_saving_->Clear();
+  if (lossy_counting_) lossy_counting_->Clear();
+  window_start_ = end;
+  ++windows_completed_;
+}
+
+void ClicPolicy::RebuildBuckets() {
+  buckets_.assign(num_ranks_, List{});
+  const std::size_t words = (num_ranks_ + 63) / 64;
+  bitmap_.assign(words, 0);
+  bitmap_summary_.assign((words + 63) / 64, 0);
+  // Walk the global list MRU-first so every bucket keeps exact recency
+  // order (front = most recent).
+  for (std::uint32_t i = global_.head; i != kInvalidIndex;
+       i = slots_[i].g_next) {
+    BucketPushBack(hints_.rank[slots_[i].hint], i);
+  }
+}
+
+void ClicPolicy::ForceEndWindow() { EndWindow(last_seq_ + 1); }
+
+std::vector<std::pair<HintSetId, double>> ClicPolicy::Priorities() const {
+  std::vector<std::pair<HintSetId, double>> out;
+  const std::size_t n = hints_.size();
+  out.reserve(n);
+  for (std::size_t h = 0; h < n; ++h) {
+    if (hints_.acc_s[h] > 0.0 || hints_.acc_r[h] > 0.0) {
+      out.emplace_back(static_cast<HintSetId>(h), hints_.priority[h]);
+    }
+  }
+  return out;
+}
+
+}  // namespace clic

@@ -1,0 +1,152 @@
+// CLIC: CLient-Informed Caching for storage servers (Liu, Aboulnaga,
+// Salem, FAST 2009).
+//
+// Every request carries an opaque hint set describing what the client
+// was doing. Over evaluation windows of W requests CLIC measures, for
+// each hint set H, how many re-references pages annotated with H
+// received and how much cache space those pages occupied; the ratio —
+// re-references per page per window, the paper's Equation 2 — becomes
+// H's caching priority for the next window. Victims are chosen from the
+// lowest-priority non-empty rank bucket, so the steady-state access path
+// is constant time: a flat page-table lookup, O(1) annotation/statistics
+// updates, two intrusive list splices, and a two-level-bitmap scan for
+// the victim rank on misses. No heap allocation happens per request.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/page_table.h"
+#include "core/policy.h"
+#include "core/trace.h"
+#include "stream/lossy_counting.h"
+#include "stream/space_saving.h"
+
+namespace clic {
+
+/// Backend for tracking which hint sets are frequent enough to deserve
+/// statistics (Section 5 of the paper).
+enum class TrackerKind {
+  kExact,          // every hint set is tracked
+  kSpaceSaving,    // O(1) stream-summary top-k (the paper's choice)
+  kLossyCounting,  // deterministic epsilon-approximate alternative
+};
+
+struct ClicOptions {
+  /// Evaluation window length W, in requests.
+  std::uint64_t window = 100'000;
+  /// History blend: acc = window_stats + decay * acc. 1.0 keeps the full
+  /// history (the paper's r = 1); smaller values favour recent windows.
+  double decay = 1.0;
+  /// Outqueue entries per cache page (the paper's N_outq = 5).
+  double outqueue_per_page = 5.0;
+  /// Charge CLIC's per-entry metadata (1% of a page per outqueue entry)
+  /// against the cache capacity, as the paper's evaluation does.
+  bool charge_metadata = true;
+  TrackerKind tracker = TrackerKind::kExact;
+  /// Number of hint sets (or generalized classes) granted priorities when
+  /// the tracker is approximate.
+  std::size_t top_k = 100;
+  /// Enable decision-tree hint-set generalization (Section 8 extension).
+  bool generalize = false;
+  /// Registry for attribute lookups; required when generalize is true.
+  std::shared_ptr<const HintRegistry> hint_space;
+};
+
+class ClicPolicy : public Policy {
+ public:
+  ClicPolicy(std::size_t cache_pages, ClicOptions options);
+  ~ClicPolicy() override;
+
+  bool Access(const Request& r, SeqNum seq) override;
+
+  /// Ends the current evaluation window immediately and recomputes all
+  /// priorities (used by the figure-3 style one-shot analysis).
+  void ForceEndWindow();
+
+  /// Current priority of every hint set observed so far.
+  std::vector<std::pair<HintSetId, double>> Priorities() const;
+
+  std::size_t cache_capacity() const { return cache_capacity_; }
+  std::size_t outqueue_capacity() const { return outqueue_capacity_; }
+  std::uint64_t windows_completed() const { return windows_completed_; }
+
+ private:
+  // Slots live in one flat arena covering cache + outqueue residents.
+  // `g_*` links thread the global recency list (cached) or the outqueue
+  // FIFO; `b_*` links thread the slot's rank-bucket list (cached only).
+  enum class SlotState : std::uint8_t { kFree, kCached, kOutqueue };
+  struct Slot {
+    PageId page = 0;
+    HintSetId hint = 0;
+    std::uint32_t g_prev = kInvalidIndex, g_next = kInvalidIndex;
+    std::uint32_t b_prev = kInvalidIndex, b_next = kInvalidIndex;
+    SlotState state = SlotState::kFree;
+  };
+  struct List {
+    std::uint32_t head = kInvalidIndex;  // MRU / newest
+    std::uint32_t tail = kInvalidIndex;  // LRU / oldest
+    std::uint32_t size = 0;
+  };
+  // Per-hint-set statistics, struct-of-arrays, indexed by HintSetId.
+  struct HintStats {
+    std::vector<std::uint64_t> refs_w;      // references this window
+    std::vector<std::uint64_t> rerefs_w;    // re-references this window
+    std::vector<std::uint32_t> cur;         // tracked pages annotated H now
+    std::vector<std::uint64_t> area;        // integral of cur over the window
+    std::vector<SeqNum> last_change;
+    std::vector<double> acc_r;              // decayed re-reference history
+    std::vector<double> acc_s;              // decayed space history
+    std::vector<double> priority;
+    std::vector<std::uint32_t> rank;
+    std::size_t size() const { return priority.size(); }
+  };
+
+  void EnsureHint(HintSetId h);
+  void FlushArea(HintSetId h, SeqNum now);
+  void Annotate(Slot& slot, HintSetId hint, SeqNum now);
+  void EndWindow(SeqNum end);
+  void RebuildBuckets();
+  void EvictOne(SeqNum now);
+  void InsertCached(std::uint32_t slot_index, SeqNum now);
+  std::uint32_t FindVictimRank() const;
+
+  // Intrusive list helpers over slots_.
+  void GListPushFront(List& list, std::uint32_t i);
+  void GListRemove(List& list, std::uint32_t i);
+  std::uint32_t GListPopBack(List& list);
+  void BucketPushFront(std::uint32_t rank, std::uint32_t i);
+  void BucketPushBack(std::uint32_t rank, std::uint32_t i);
+  void BucketRemove(std::uint32_t rank, std::uint32_t i);
+
+  void BitmapSet(std::uint32_t rank);
+  void BitmapClear(std::uint32_t rank);
+
+  ClicOptions options_;
+  std::size_t cache_capacity_;     // after the optional metadata charge
+  std::size_t outqueue_capacity_;
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  PageTable page_table_;
+  List global_;    // cached pages, MRU at head
+  List outqueue_;  // evicted metadata, newest at head
+
+  HintStats hints_;
+  std::vector<List> buckets_;            // one per rank
+  std::vector<std::uint64_t> bitmap_;    // non-empty-bucket bits
+  std::vector<std::uint64_t> bitmap_summary_;
+  std::uint32_t num_ranks_ = 1;
+
+  SeqNum window_start_ = 0;
+  SeqNum next_window_end_;
+  SeqNum last_seq_ = 0;
+  std::uint64_t windows_completed_ = 0;
+
+  std::unique_ptr<SpaceSaving<HintSetId>> space_saving_;
+  std::unique_ptr<LossyCounting<HintSetId>> lossy_counting_;
+};
+
+}  // namespace clic

@@ -1,0 +1,119 @@
+#include "core/hint_tree.h"
+
+#include <algorithm>
+#include <map>
+
+namespace clic {
+namespace {
+
+constexpr std::uint32_t kMissingAttr = 0xFFFFFFFFu;
+
+std::uint32_t AttrAt(const HintVector& v, std::size_t pos) {
+  return pos < v.attrs.size() ? v.attrs[pos] : kMissingAttr;
+}
+
+/// Weighted variance of the samples' rates.
+double WeightedVariance(const std::vector<HintSample>& samples,
+                        const std::vector<std::uint32_t>& members,
+                        double* total_weight_out) {
+  double w = 0.0, mean = 0.0;
+  for (std::uint32_t m : members) {
+    w += static_cast<double>(samples[m].weight);
+    mean += static_cast<double>(samples[m].weight) * samples[m].rate;
+  }
+  if (w <= 0.0) {
+    if (total_weight_out) *total_weight_out = 0.0;
+    return 0.0;
+  }
+  mean /= w;
+  double var = 0.0;
+  for (std::uint32_t m : members) {
+    const double d = samples[m].rate - mean;
+    var += static_cast<double>(samples[m].weight) * d * d;
+  }
+  if (total_weight_out) *total_weight_out = w;
+  return var / w;
+}
+
+}  // namespace
+
+HintClassTree::HintClassTree(const HintRegistry& space,
+                             const std::vector<HintSample>& samples)
+    : HintClassTree(space, samples, Params{}) {}
+
+HintClassTree::HintClassTree(const HintRegistry& space,
+                             const std::vector<HintSample>& samples,
+                             const Params& params) {
+  std::vector<std::uint32_t> all(samples.size());
+  for (std::uint32_t i = 0; i < samples.size(); ++i) all[i] = i;
+  class_of_.reserve(samples.size());
+  Split(space, samples, all, /*used_mask=*/0, /*depth=*/0, params);
+}
+
+void HintClassTree::Split(const HintRegistry& space,
+                          const std::vector<HintSample>& samples,
+                          std::vector<std::uint32_t>& members,
+                          std::uint64_t used_mask, int depth,
+                          const Params& params) {
+  auto make_leaf = [&] {
+    const std::uint32_t cls = num_classes_++;
+    for (std::uint32_t m : members) class_of_[samples[m].hint] = cls;
+  };
+
+  double total_weight = 0.0;
+  const double parent_var = WeightedVariance(samples, members, &total_weight);
+  if (depth >= params.max_depth || members.size() <= 1 ||
+      total_weight < static_cast<double>(params.min_weight) ||
+      parent_var <= 0.0) {
+    make_leaf();
+    return;
+  }
+
+  std::size_t max_attrs = 0;
+  for (std::uint32_t m : members) {
+    max_attrs =
+        std::max(max_attrs, space.Get(samples[m].hint).attrs.size());
+  }
+  max_attrs = std::min<std::size_t>(max_attrs, 64);  // used_mask width
+
+  int best_pos = -1;
+  double best_gain = 0.0;
+  for (std::size_t pos = 0; pos < max_attrs; ++pos) {
+    if (used_mask & (1ull << pos)) continue;
+    // Group members by the value at this position and compute the
+    // weighted within-group variance.
+    std::map<std::uint32_t, std::vector<std::uint32_t>> groups;
+    for (std::uint32_t m : members) {
+      groups[AttrAt(space.Get(samples[m].hint), pos)].push_back(m);
+    }
+    if (groups.size() <= 1) continue;
+    double within = 0.0;
+    for (auto& [value, group] : groups) {
+      double w = 0.0;
+      const double var = WeightedVariance(samples, group, &w);
+      within += var * w;
+    }
+    within /= total_weight;
+    const double gain = (parent_var - within) / parent_var;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_pos = static_cast<int>(pos);
+    }
+  }
+
+  if (best_pos < 0 || best_gain < params.min_gain) {
+    make_leaf();
+    return;
+  }
+
+  std::map<std::uint32_t, std::vector<std::uint32_t>> groups;
+  for (std::uint32_t m : members) {
+    groups[AttrAt(space.Get(samples[m].hint), best_pos)].push_back(m);
+  }
+  for (auto& [value, group] : groups) {
+    Split(space, samples, group, used_mask | (1ull << best_pos), depth + 1,
+          params);
+  }
+}
+
+}  // namespace clic

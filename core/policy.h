@@ -1,0 +1,24 @@
+// Replacement-policy interface shared by the simulator, the comparison
+// policies, and the CLIC engine.
+#pragma once
+
+#include "core/trace.h"
+
+namespace clic {
+
+/// A cache replacement policy simulated over a request trace.
+///
+/// Access() is the hot path: it is called once per request, must decide
+/// hit vs miss, update internal state, and (for implementations in this
+/// repo) allocate nothing on the heap. `seq` is the 0-based index of the
+/// request in the trace; Simulate() guarantees it increases by exactly 1
+/// per call, which OPT relies on for its next-use oracle.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Returns true iff the page was resident before this access.
+  virtual bool Access(const Request& r, SeqNum seq) = 0;
+};
+
+}  // namespace clic

@@ -1,0 +1,27 @@
+#include "policies/lru.h"
+
+#include <algorithm>
+
+namespace clic {
+
+LruPolicy::LruPolicy(std::size_t cache_pages)
+    : arena_(std::max<std::size_t>(1, cache_pages)) {}
+
+bool LruPolicy::Access(const Request& r, SeqNum /*seq*/) {
+  const std::uint32_t slot = table_.Get(r.page);
+  if (slot != kInvalidIndex) {
+    arena_.MoveToFront(lru_, slot);
+    return true;
+  }
+  if (arena_.Full()) {
+    const std::uint32_t victim = arena_.PopBack(lru_);
+    table_.Clear(arena_[victim].page);
+    arena_.Free(victim);
+  }
+  const std::uint32_t node = arena_.Alloc(r.page);
+  arena_.PushFront(lru_, node);
+  table_.Set(r.page, node);
+  return false;
+}
+
+}  // namespace clic

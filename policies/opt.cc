@@ -1,0 +1,59 @@
+#include "policies/opt.h"
+
+#include <algorithm>
+
+namespace clic {
+
+OptPolicy::OptPolicy(std::size_t cache_pages, const Trace& trace)
+    : cache_pages_(std::max<std::size_t>(1, cache_pages)) {
+  const std::size_t n = trace.requests.size();
+  next_use_.resize(n, kNever);
+  PageId max_page = 0;
+  for (const Request& r : trace.requests) {
+    max_page = std::max(max_page, r.page);
+  }
+  cur_next_.assign(static_cast<std::size_t>(max_page) + 1, kNever);
+  resident_.assign(static_cast<std::size_t>(max_page) + 1, 0);
+  // Backward pass: next_use_[i] = next index at which requests[i].page
+  // recurs. cur_next_ doubles as the "last seen" scratch here and is
+  // reset before simulation starts.
+  for (std::size_t i = n; i-- > 0;) {
+    const PageId page = trace.requests[i].page;
+    next_use_[i] = cur_next_[page];
+    cur_next_[page] = i;
+  }
+  std::fill(cur_next_.begin(), cur_next_.end(), kNever);
+  heap_.reserve(1 << 16);
+}
+
+bool OptPolicy::Access(const Request& r, SeqNum seq) {
+  const SeqNum nu = seq < next_use_.size() ? next_use_[seq] : kNever;
+  if (resident_[r.page]) {
+    cur_next_[r.page] = nu;
+    heap_.emplace_back(nu, r.page);
+    std::push_heap(heap_.begin(), heap_.end());
+    return true;
+  }
+  if (count_ >= cache_pages_) {
+    // Pop until the top entry reflects a resident page's current next
+    // use; stale entries (superseded or evicted) are discarded lazily.
+    for (;;) {
+      const auto [key, page] = heap_.front();
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.pop_back();
+      if (resident_[page] && cur_next_[page] == key) {
+        resident_[page] = 0;
+        --count_;
+        break;
+      }
+    }
+  }
+  resident_[r.page] = 1;
+  cur_next_[r.page] = nu;
+  heap_.emplace_back(nu, r.page);
+  std::push_heap(heap_.begin(), heap_.end());
+  ++count_;
+  return false;
+}
+
+}  // namespace clic

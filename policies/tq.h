@@ -1,0 +1,38 @@
+// TQ: write-hint-aware two-queue policy in the spirit of Li, Aboulnaga,
+// Salem et al. ("Second-Tier Cache Management Using Write Hints",
+// FAST 2005) — the strongest pre-CLIC baseline in the paper's figures.
+//
+// Pages written back because of client buffer replacement were just
+// evicted from the client's pool and are likely to be read again, so
+// they are kept in a protected queue; recovery writes (checkpoint / WAL)
+// are cached at the evictable end. `write_bonus` sets the protected
+// queue's share of the cache: cap = bonus / (1 + bonus) of the pages.
+#pragma once
+
+#include "core/policy.h"
+#include "policies/common.h"
+
+namespace clic {
+
+class TqPolicy : public Policy {
+ public:
+  explicit TqPolicy(std::size_t cache_pages, double write_bonus = 1.0);
+
+  bool Access(const Request& r, SeqNum seq) override;
+
+ private:
+  enum class Where : std::uint8_t { kProtected, kPlain };
+  struct Payload {
+    Where where = Where::kPlain;
+  };
+
+  void EvictOne();
+  void TrimProtected();
+
+  PageTable table_;
+  ListArena<Payload> arena_;
+  ListHead protected_, plain_;
+  std::size_t protected_cap_;
+};
+
+}  // namespace clic

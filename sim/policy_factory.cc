@@ -1,0 +1,66 @@
+#include "sim/policy_factory.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "policies/arc.h"
+#include "policies/clock.h"
+#include "policies/lru.h"
+#include "policies/mq.h"
+#include "policies/opt.h"
+#include "policies/tq.h"
+#include "policies/two_q.h"
+
+namespace clic {
+
+const char* PolicyName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kOpt:
+      return "OPT";
+    case PolicyKind::kTq:
+      return "TQ";
+    case PolicyKind::kLru:
+      return "LRU";
+    case PolicyKind::kArc:
+      return "ARC";
+    case PolicyKind::kClic:
+      return "CLIC";
+    case PolicyKind::kClock:
+      return "CLOCK";
+    case PolicyKind::kTwoQ:
+      return "2Q";
+    case PolicyKind::kMq:
+      return "MQ";
+  }
+  return "?";
+}
+
+std::unique_ptr<Policy> MakePolicy(PolicyKind kind, std::size_t cache_pages,
+                                   const Trace* trace,
+                                   const ClicOptions& options) {
+  switch (kind) {
+    case PolicyKind::kOpt:
+      if (trace == nullptr) {
+        std::fprintf(stderr, "MakePolicy(kOpt) requires a trace\n");
+        std::exit(1);
+      }
+      return std::make_unique<OptPolicy>(cache_pages, *trace);
+    case PolicyKind::kTq:
+      return std::make_unique<TqPolicy>(cache_pages);
+    case PolicyKind::kLru:
+      return std::make_unique<LruPolicy>(cache_pages);
+    case PolicyKind::kArc:
+      return std::make_unique<ArcPolicy>(cache_pages);
+    case PolicyKind::kClic:
+      return std::make_unique<ClicPolicy>(cache_pages, options);
+    case PolicyKind::kClock:
+      return std::make_unique<ClockPolicy>(cache_pages);
+    case PolicyKind::kTwoQ:
+      return std::make_unique<TwoQPolicy>(cache_pages);
+    case PolicyKind::kMq:
+      return std::make_unique<MqPolicy>(cache_pages);
+  }
+  return nullptr;
+}
+
+}  // namespace clic

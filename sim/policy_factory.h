@@ -1,0 +1,40 @@
+// Policy registry for the evaluation: the paper's five figure policies
+// plus the related-work baselines used by the policy ablation.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "core/clic.h"
+#include "core/policy.h"
+#include "core/trace.h"
+
+namespace clic {
+
+enum class PolicyKind {
+  kOpt,    // Belady upper bound
+  kTq,     // write-hint two-queue (Li et al., FAST '05)
+  kLru,
+  kArc,    // Megiddo & Modha, FAST '03
+  kClic,   // this paper
+  kClock,  // related-work baselines (Section 7)
+  kTwoQ,
+  kMq,
+};
+
+const char* PolicyName(PolicyKind kind);
+
+/// The five policies plotted in Figures 6-8, in the paper's legend order.
+inline std::array<PolicyKind, 5> PaperPolicies() {
+  return {PolicyKind::kOpt, PolicyKind::kTq, PolicyKind::kLru,
+          PolicyKind::kArc, PolicyKind::kClic};
+}
+
+/// Builds a policy instance for one simulation run. `trace` must outlive
+/// the policy and is required by kOpt (clairvoyant next-use oracle);
+/// `options` applies to kClic only.
+std::unique_ptr<Policy> MakePolicy(PolicyKind kind, std::size_t cache_pages,
+                                   const Trace* trace,
+                                   const ClicOptions& options);
+
+}  // namespace clic

@@ -1,0 +1,41 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+namespace clic {
+
+SimResult Simulate(const Trace& trace, Policy& policy) {
+  SimResult result;
+  // Flat per-client accumulators on the hot loop; folded into the map
+  // afterwards. Client ids are small dense integers.
+  std::vector<CacheStats> clients;
+  SeqNum seq = 0;
+  for (const Request& r : trace.requests) {
+    const bool hit = policy.Access(r, seq++);
+    if (r.client >= clients.size()) clients.resize(r.client + 1);
+    CacheStats& c = clients[r.client];
+    if (r.op == OpType::kRead) {
+      ++result.total.reads;
+      ++c.reads;
+      if (hit) {
+        ++result.total.read_hits;
+        ++c.read_hits;
+      }
+    } else {
+      ++result.total.writes;
+      ++c.writes;
+      if (hit) {
+        ++result.total.write_hits;
+        ++c.write_hits;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const CacheStats& c = clients[i];
+    if (c.reads + c.writes == 0) continue;
+    result.per_client.emplace(static_cast<ClientId>(i), c);
+  }
+  return result;
+}
+
+}  // namespace clic

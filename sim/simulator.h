@@ -1,0 +1,40 @@
+// Trace-driven cache simulation: replays a request trace through a
+// replacement policy and accounts read/write hits, overall and per
+// client (Figure 11 needs the per-client split).
+#pragma once
+
+#include <map>
+
+#include "core/policy.h"
+#include "core/trace.h"
+
+namespace clic {
+
+struct CacheStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t read_hits = 0;
+  std::uint64_t write_hits = 0;
+
+  double ReadHitRatio() const {
+    return reads ? static_cast<double>(read_hits) /
+                       static_cast<double>(reads)
+                 : 0.0;
+  }
+  double WriteHitRatio() const {
+    return writes ? static_cast<double>(write_hits) /
+                        static_cast<double>(writes)
+                  : 0.0;
+  }
+};
+
+struct SimResult {
+  CacheStats total;
+  std::map<ClientId, CacheStats> per_client;
+};
+
+/// Replays `trace` through `policy` from a cold cache. Passes seq =
+/// request index to Policy::Access (OPT depends on this).
+SimResult Simulate(const Trace& trace, Policy& policy);
+
+}  // namespace clic

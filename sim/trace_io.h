@@ -1,0 +1,20 @@
+// Binary trace serialization. A .trc file stores the trace name, the
+// full hint registry (so Describe() works after loading) and the packed
+// request records, protected by an FNV-1a checksum. LoadTrace returns
+// nullopt on any mismatch — wrong name, version, truncation, corruption
+// — so callers fall back to regeneration.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/trace.h"
+
+namespace clic {
+
+bool SaveTrace(const Trace& trace, const std::string& path);
+
+std::optional<Trace> LoadTrace(const std::string& path,
+                               const std::string& expected_name);
+
+}  // namespace clic

@@ -1,0 +1,29 @@
+// Trace transformations used by the evaluation: noise-hint injection
+// (Section 6.3) and multi-client interleaving (Figure 11).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/trace.h"
+
+namespace clic {
+
+/// Appends `num_types` noise attributes to every request's hint vector,
+/// with values drawn per request from Zipf(domain_size, zipf_z). This
+/// multiplies the number of distinct hint sets without adding any
+/// information, diluting CLIC's statistics exactly as the paper's
+/// Section 6.3 experiment does. Deterministic in `seed`.
+Trace InjectNoiseHints(const Trace& base, int num_types, int domain_size,
+                       double zipf_z, std::uint64_t seed);
+
+/// Round-robin interleaving of several client traces into one shared
+/// stream. Requests are re-tagged with their source index as ClientId
+/// and hint vectors are re-interned with that client id, so hint sets
+/// from different clients stay distinct (as the paper's multi-client
+/// experiment requires).
+Trace Interleave(const std::string& name,
+                 const std::vector<const Trace*>& sources);
+
+}  // namespace clic

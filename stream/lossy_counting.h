@@ -1,0 +1,101 @@
+// Lossy Counting (Manku & Motwani, VLDB 2002). Deterministic
+// epsilon-approximate frequency summary: the stream is cut into buckets
+// of width ceil(1/epsilon); at each bucket boundary, entries whose
+// count + delta falls below the current bucket id are pruned.
+//
+// Guarantees over a stream of N items:
+//   * estimated count underestimates by at most epsilon * N,
+//   * every item with true frequency >= epsilon * N is present.
+// Offer() is amortized O(1) (the prune touches each entry at most once
+// per insertion).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace clic {
+
+template <typename T>
+class LossyCounting {
+ public:
+  struct Entry {
+    T item{};
+    std::uint64_t count = 0;   // lower bound on the true count
+    std::uint64_t delta = 0;   // maximum undercount
+  };
+
+  explicit LossyCounting(double epsilon)
+      : width_(epsilon > 0.0
+                   ? std::max<std::uint64_t>(
+                         1, static_cast<std::uint64_t>(1.0 / epsilon))
+                   : 1) {}
+
+  void Offer(const T& item) {
+    ++n_;
+    auto it = counts_.find(item);
+    if (it != counts_.end()) {
+      ++it->second.count;
+    } else {
+      counts_.emplace(item, Cell{1, bucket_ - 1});
+    }
+    if (n_ % width_ == 0) Prune();
+  }
+
+  std::uint64_t stream_length() const { return n_; }
+  std::size_t size() const { return counts_.size(); }
+
+  bool Contains(const T& item) const { return counts_.count(item) != 0; }
+
+  std::uint64_t Count(const T& item) const {
+    auto it = counts_.find(item);
+    return it == counts_.end() ? 0 : it->second.count;
+  }
+
+  /// Surviving entries, highest estimated count first.
+  std::vector<Entry> Items() const {
+    std::vector<Entry> out;
+    out.reserve(counts_.size());
+    for (const auto& [item, cell] : counts_) {
+      out.push_back(Entry{item, cell.count, cell.delta});
+    }
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      const std::uint64_t ub_a = a.count + a.delta;
+      const std::uint64_t ub_b = b.count + b.delta;
+      if (ub_a != ub_b) return ub_a > ub_b;
+      return a.item < b.item;  // deterministic tie-break
+    });
+    return out;
+  }
+
+  void Clear() {
+    counts_.clear();
+    n_ = 0;
+    bucket_ = 1;
+  }
+
+ private:
+  struct Cell {
+    std::uint64_t count;
+    std::uint64_t delta;
+  };
+
+  void Prune() {
+    for (auto it = counts_.begin(); it != counts_.end();) {
+      if (it->second.count + it->second.delta <= bucket_) {
+        it = counts_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ++bucket_;
+  }
+
+  std::uint64_t width_;
+  std::uint64_t n_ = 0;
+  std::uint64_t bucket_ = 1;  // current bucket id, 1-based
+  std::unordered_map<T, Cell> counts_;
+};
+
+}  // namespace clic

@@ -1,0 +1,208 @@
+// Hand-computed checks of CLIC's Equation-2 window analysis: priority =
+// re-references credited to a hint set divided by the time-averaged
+// number of tracked pages annotated with it.
+#include "core/clic.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/hint_tree.h"
+
+namespace clic {
+namespace {
+
+class Driver {
+ public:
+  explicit Driver(ClicPolicy* policy) : policy_(policy) {}
+  bool Read(PageId page, HintSetId hint) {
+    Request r;
+    r.page = page;
+    r.hint_set = hint;
+    return policy_->Access(r, seq_++);
+  }
+
+ private:
+  ClicPolicy* policy_;
+  SeqNum seq_ = 0;
+};
+
+std::map<HintSetId, double> PriorityMap(const ClicPolicy& policy) {
+  std::map<HintSetId, double> out;
+  for (const auto& [hint, priority] : policy.Priorities()) {
+    out[hint] = priority;
+  }
+  return out;
+}
+
+ClicOptions BareOptions(std::uint64_t window) {
+  ClicOptions options;
+  options.window = window;
+  options.decay = 1.0;
+  options.outqueue_per_page = 0.0;
+  options.charge_metadata = false;
+  return options;
+}
+
+constexpr HintSetId kA = 0, kB = 1;
+
+TEST(ClicWindowTest, HandComputedEquation2) {
+  // Cache of 4 (no evictions). Requests, with seq:
+  //   0: p1 hint A (miss)   cur_A 0->1
+  //   1: p2 hint A (miss)   cur_A 1->2, area_A += 1*1
+  //   2: p1 hint B (hit)    R_A += 1; area_A += 2*1; cur_A->1; cur_B->1
+  //   3: p2 hint A (hit)    R_A += 1 (annotation stays A)
+  // ForceEndWindow at end = 4, L = 4:
+  //   area_A += 1*(4-2) -> 5, S_A = 5/4, priority_A = 2/(5/4) = 1.6
+  //   area_B  = 1*(4-2) -> 2, S_B = 1/2, priority_B = 0/(1/2) = 0
+  ClicPolicy clic(4, BareOptions(100));
+  Driver d(&clic);
+  EXPECT_FALSE(d.Read(1, kA));
+  EXPECT_FALSE(d.Read(2, kA));
+  EXPECT_TRUE(d.Read(1, kB));
+  EXPECT_TRUE(d.Read(2, kA));
+  clic.ForceEndWindow();
+
+  const auto priorities = PriorityMap(clic);
+  ASSERT_EQ(priorities.size(), 2u);
+  EXPECT_DOUBLE_EQ(priorities.at(kA), 1.6);
+  EXPECT_DOUBLE_EQ(priorities.at(kB), 0.0);
+}
+
+TEST(ClicWindowTest, OutqueueReReferencesCount) {
+  // Cache of 1, outqueue of 2 entries. p1 is evicted into the outqueue
+  // and re-referenced from there: the re-reference must still credit A.
+  //   0: p1 A miss            cur_A 0->1
+  //   1: p2 A miss, p1 -> outq  cur_A 1->2, area_A += 1
+  //   2: p1 A miss (outq hit), R_A += 1, p2 -> outq
+  // End at 3: area_A += 2*(3-1) -> 5, S_A = 5/3, priority = 1/(5/3).
+  ClicOptions options = BareOptions(100);
+  options.outqueue_per_page = 2.0;
+  ClicPolicy clic(1, options);
+  EXPECT_EQ(clic.outqueue_capacity(), 2u);
+  Driver d(&clic);
+  EXPECT_FALSE(d.Read(1, kA));
+  EXPECT_FALSE(d.Read(2, kA));
+  EXPECT_FALSE(d.Read(1, kA));  // a miss, but a tracked re-reference
+  clic.ForceEndWindow();
+
+  const auto priorities = PriorityMap(clic);
+  EXPECT_DOUBLE_EQ(priorities.at(kA), 1.0 / (5.0 / 3.0));
+}
+
+TEST(ClicWindowTest, DecayBlendsWindows) {
+  // Window 1 replays the HandComputedEquation2 stream (acc_A = 2, 1.25).
+  // Window 2 has no A re-references and one A-annotated page (p2):
+  //   R = 0, S = 4/4 = 1.
+  // With decay 0.5: acc_r = 0 + 0.5*2 = 1, acc_s = 1 + 0.5*1.25 = 1.625.
+  ClicOptions options = BareOptions(4);
+  options.decay = 0.5;
+  ClicPolicy clic(8, options);
+  Driver d(&clic);
+  d.Read(1, kA);
+  d.Read(2, kA);
+  d.Read(1, kB);
+  d.Read(2, kA);
+  // Window boundary fires on the next access (seq 4). Four fresh pages
+  // annotated with B keep A's stats quiet in window 2.
+  d.Read(3, kB);
+  d.Read(4, kB);
+  d.Read(5, kB);
+  d.Read(6, kB);
+  clic.ForceEndWindow();
+  EXPECT_EQ(clic.windows_completed(), 2u);
+
+  const auto priorities = PriorityMap(clic);
+  EXPECT_DOUBLE_EQ(priorities.at(kA), 1.0 / 1.625);
+}
+
+TEST(ClicWindowTest, HighPriorityHintsSurviveEviction) {
+  // Window 1 teaches CLIC that hint A's pages are re-referenced and
+  // hint B's are not. In window 2 a new page must evict B's page, not
+  // A's, even though A's page is older in LRU terms.
+  ClicPolicy clic(2, BareOptions(6));
+  Driver d(&clic);
+  d.Read(1, kA);
+  d.Read(2, kB);
+  d.Read(1, kA);
+  d.Read(1, kA);
+  d.Read(1, kA);
+  d.Read(1, kA);
+  // seq 6 starts window 2 (A has positive priority, B has zero).
+  EXPECT_FALSE(d.Read(3, kB));  // miss; must evict page 2 (hint B)
+  EXPECT_TRUE(d.Read(1, kA));   // A's page survived
+  EXPECT_FALSE(d.Read(2, kB));  // B's page did not
+}
+
+TEST(ClicWindowTest, ColdStartEvictsGlobalLru) {
+  // Before the first window completes there are no priorities; CLIC
+  // must degrade to plain LRU.
+  ClicPolicy clic(2, BareOptions(1'000));
+  Driver d(&clic);
+  d.Read(1, kA);
+  d.Read(2, kB);
+  EXPECT_FALSE(d.Read(3, kA));  // evicts page 1 (global LRU)
+  EXPECT_TRUE(d.Read(2, kB));
+  EXPECT_FALSE(d.Read(1, kA));
+}
+
+TEST(ClicWindowTest, TopKTrackerGatesPriorities) {
+  // Two hint sets, both genuinely re-referenced, but hint B is rare and
+  // the Space-Saving tracker only has one counter: B must get priority 0.
+  ClicOptions options = BareOptions(100);
+  options.tracker = TrackerKind::kSpaceSaving;
+  options.top_k = 1;
+  ClicPolicy clic(16, options);
+  Driver d(&clic);
+  d.Read(2, kB);
+  d.Read(2, kB);
+  for (int i = 0; i < 10; ++i) d.Read(1, kA);
+  clic.ForceEndWindow();
+
+  const auto priorities = PriorityMap(clic);
+  EXPECT_GT(priorities.at(kA), 0.0);
+  EXPECT_DOUBLE_EQ(priorities.at(kB), 0.0);
+}
+
+TEST(ClicWindowTest, MetadataChargeShrinksCache) {
+  ClicOptions options = BareOptions(100);
+  options.outqueue_per_page = 5.0;
+  options.charge_metadata = true;
+  ClicPolicy charged(1'000, options);
+  // 5000 outqueue entries at 1% of a page each = 50 pages of metadata.
+  EXPECT_EQ(charged.outqueue_capacity(), 5'000u);
+  EXPECT_EQ(charged.cache_capacity(), 950u);
+
+  options.charge_metadata = false;
+  ClicPolicy free_meta(1'000, options);
+  EXPECT_EQ(free_meta.cache_capacity(), 1'000u);
+}
+
+TEST(HintClassTreeTest, GroupsByInformativeAttribute) {
+  // Attribute 0 determines behaviour; attribute 1 is per-variant noise.
+  HintRegistry registry;
+  std::vector<HintSample> samples;
+  for (std::uint32_t behaviour = 0; behaviour < 2; ++behaviour) {
+    for (std::uint32_t noise = 0; noise < 4; ++noise) {
+      HintSample s;
+      s.hint = registry.Intern(HintVector{0, {behaviour, noise}});
+      s.weight = 100;
+      s.rate = behaviour == 0 ? 0.9 : 0.1;
+      samples.push_back(s);
+    }
+  }
+  HintClassTree tree(registry, samples);
+  EXPECT_EQ(tree.num_classes(), 2u);
+  // All noise variants of one behaviour share a class...
+  const std::uint32_t class0 = tree.ClassOf(samples[0].hint);
+  const std::uint32_t class1 = tree.ClassOf(samples[4].hint);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(tree.ClassOf(samples[i].hint), class0);
+    EXPECT_EQ(tree.ClassOf(samples[4 + i].hint), class1);
+  }
+  // ... and the two behaviours do not collapse into one.
+  EXPECT_NE(class0, class1);
+}
+
+}  // namespace
+}  // namespace clic

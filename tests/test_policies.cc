@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/trace.h"
+#include "sim/policy_factory.h"
+#include "sim/simulator.h"
+#include "policies/lru.h"
+#include "policies/tq.h"
+
+namespace clic {
+namespace {
+
+Trace ReadTrace(std::initializer_list<PageId> pages) {
+  Trace trace;
+  const HintSetId h = trace.hints->Intern(HintVector{0, {0}});
+  for (PageId p : pages) {
+    trace.requests.push_back(Request{p, h, 0, OpType::kRead,
+                                     WriteKind::kNone});
+  }
+  return trace;
+}
+
+TEST(LruTest, HandCheckedHitSequence) {
+  // Cache of 2 pages. Accesses: 1 2 1 3 2 3 1
+  //   1 -> miss {1}
+  //   2 -> miss {2,1}
+  //   1 -> hit  {1,2}
+  //   3 -> miss {3,1}  (2 evicted)
+  //   2 -> miss {2,3}  (1 evicted)
+  //   3 -> hit  {3,2}
+  //   1 -> miss {1,3}  (2 evicted)
+  const Trace trace = ReadTrace({1, 2, 1, 3, 2, 3, 1});
+  LruPolicy lru(2);
+  const SimResult result = Simulate(trace, lru);
+  EXPECT_EQ(result.total.reads, 7u);
+  EXPECT_EQ(result.total.read_hits, 2u);
+}
+
+TEST(LruTest, SingleSlotCacheNeverHitsOnAlternation) {
+  const Trace trace = ReadTrace({1, 2, 1, 2, 1, 2});
+  LruPolicy lru(1);
+  const SimResult result = Simulate(trace, lru);
+  EXPECT_EQ(result.total.read_hits, 0u);
+}
+
+TEST(LruTest, RepeatsAlwaysHitWhenCacheFits) {
+  const Trace trace = ReadTrace({1, 2, 3, 1, 2, 3, 1, 2, 3});
+  LruPolicy lru(3);
+  const SimResult result = Simulate(trace, lru);
+  EXPECT_EQ(result.total.read_hits, 6u);
+}
+
+TEST(TqTest, ReplacementWritesAreProtected) {
+  // Cache of 2. A replacement-written page survives a scan of plain
+  // reads that would evict it under pure LRU.
+  Trace trace;
+  const HintSetId h = trace.hints->Intern(HintVector{0, {0}});
+  auto read = [&](PageId p) {
+    trace.requests.push_back(Request{p, h, 0, OpType::kRead,
+                                     WriteKind::kNone});
+  };
+  auto rwrite = [&](PageId p) {
+    trace.requests.push_back(Request{p, h, 0, OpType::kWrite,
+                                     WriteKind::kReplacement});
+  };
+  rwrite(1);  // page 1 protected
+  read(2);
+  read(3);
+  read(4);    // plain queue churns, page 1 stays
+  read(1);    // hit under TQ, miss under LRU
+  const Trace& t = trace;
+
+  TqPolicy tq(2, /*write_bonus=*/1.0);
+  const SimResult tq_result = Simulate(t, tq);
+  EXPECT_EQ(tq_result.total.read_hits, 1u);
+
+  LruPolicy lru(2);
+  const SimResult lru_result = Simulate(t, lru);
+  EXPECT_EQ(lru_result.total.read_hits, 0u);
+}
+
+TEST(OptTest, HandCheckedBelady) {
+  // Cache of 2. Accesses: 1 2 3 1 2 3
+  // Belady: after {1,2}, page 3 evicts page 2 (2's next use at t=4 is
+  // sooner than 1's at t=3? No: 1 recurs at t=3, 2 at t=4 -> evict the
+  // farther one, which is 2... keep checking: OPT achieves 2 hits here:
+  //   1 miss {1}, 2 miss {1,2}, 3 miss evict 2 {1,3},
+  //   1 hit, 2 miss evict 1 or 3 (neither recurs; 1 recurs never, 3 at
+  //   t=5) -> evict 1 {2,3}, 3 hit.
+  const Trace trace = ReadTrace({1, 2, 3, 1, 2, 3});
+  auto opt = MakePolicy(PolicyKind::kOpt, 2, &trace, ClicOptions{});
+  const SimResult result = Simulate(trace, *opt);
+  EXPECT_EQ(result.total.read_hits, 2u);
+}
+
+TEST(PolicyZooTest, OptDominatesAndAllStayConsistent) {
+  // A mixed synthetic workload; every policy must produce hits within
+  // [0, OPT] and identical read/write accounting.
+  Trace trace;
+  Rng rng(123);
+  ZipfGenerator zipf(500, 0.8);
+  const HintSetId h = trace.hints->Intern(HintVector{0, {0}});
+  for (int i = 0; i < 20'000; ++i) {
+    Request r;
+    r.page = zipf(rng);
+    r.hint_set = h;
+    if (rng.Chance(0.25)) {
+      r.op = OpType::kWrite;
+      r.write_kind =
+          rng.Chance(0.5) ? WriteKind::kReplacement : WriteKind::kRecovery;
+    }
+    trace.requests.push_back(r);
+  }
+
+  ClicOptions options;
+  options.window = 2'000;
+  auto opt = MakePolicy(PolicyKind::kOpt, 64, &trace, options);
+  const SimResult opt_result = Simulate(trace, *opt);
+  ASSERT_GT(opt_result.total.read_hits, 0u);
+
+  for (PolicyKind kind :
+       {PolicyKind::kLru, PolicyKind::kClock, PolicyKind::kTwoQ,
+        PolicyKind::kMq, PolicyKind::kArc, PolicyKind::kTq,
+        PolicyKind::kClic}) {
+    auto policy = MakePolicy(kind, 64, &trace, options);
+    const SimResult result = Simulate(trace, *policy);
+    EXPECT_EQ(result.total.reads, opt_result.total.reads)
+        << PolicyName(kind);
+    EXPECT_EQ(result.total.writes, opt_result.total.writes)
+        << PolicyName(kind);
+    EXPECT_LE(result.total.read_hits + result.total.write_hits,
+              opt_result.total.read_hits + opt_result.total.write_hits)
+        << PolicyName(kind) << " beat OPT, which cannot happen";
+    EXPECT_GT(result.total.read_hits, 0u) << PolicyName(kind);
+  }
+}
+
+TEST(PolicyZooTest, TinyCachesDoNotCrash) {
+  const Trace trace = ReadTrace({1, 2, 3, 4, 1, 2, 3, 4, 1});
+  for (PolicyKind kind :
+       {PolicyKind::kOpt, PolicyKind::kTq, PolicyKind::kLru,
+        PolicyKind::kArc, PolicyKind::kClic, PolicyKind::kClock,
+        PolicyKind::kTwoQ, PolicyKind::kMq}) {
+    auto policy = MakePolicy(kind, 1, &trace, ClicOptions{});
+    const SimResult result = Simulate(trace, *policy);
+    EXPECT_EQ(result.total.reads, trace.size()) << PolicyName(kind);
+  }
+}
+
+TEST(SimulatorTest, PerClientAccounting) {
+  Trace trace;
+  const HintSetId h = trace.hints->Intern(HintVector{0, {0}});
+  // Client 0: pages 1,1 (one hit). Client 1: pages 2,3 (no hits).
+  trace.requests = {
+      {1, h, 0, OpType::kRead, WriteKind::kNone},
+      {1, h, 0, OpType::kRead, WriteKind::kNone},
+      {2, h, 1, OpType::kRead, WriteKind::kNone},
+      {3, h, 1, OpType::kRead, WriteKind::kNone},
+  };
+  LruPolicy lru(10);
+  const SimResult result = Simulate(trace, lru);
+  ASSERT_EQ(result.per_client.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.per_client.at(0).ReadHitRatio(), 0.5);
+  EXPECT_DOUBLE_EQ(result.per_client.at(1).ReadHitRatio(), 0.0);
+  EXPECT_EQ(result.total.reads, 4u);
+  EXPECT_EQ(result.total.read_hits, 1u);
+}
+
+}  // namespace
+}  // namespace clic

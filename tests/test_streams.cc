@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "stream/lossy_counting.h"
+#include "stream/space_saving.h"
+
+namespace clic {
+namespace {
+
+TEST(SpaceSavingTest, ExactWhenCapacityCoversDistinctItems) {
+  SpaceSaving<int> ss(8);
+  std::map<int, std::uint64_t> truth;
+  Rng rng(42);
+  for (int i = 0; i < 10'000; ++i) {
+    const int item = static_cast<int>(rng.Below(8));
+    ss.Offer(item);
+    ++truth[item];
+  }
+  for (const auto& [item, count] : truth) {
+    EXPECT_EQ(ss.Count(item), count) << "item " << item;
+    EXPECT_EQ(ss.Error(item), 0u) << "item " << item;
+  }
+  EXPECT_EQ(ss.size(), truth.size());
+}
+
+TEST(SpaceSavingTest, BoundsHoldUnderReplacement) {
+  // Zipf stream over many more items than counters.
+  SpaceSaving<std::uint32_t> ss(10);
+  std::map<std::uint32_t, std::uint64_t> truth;
+  Rng rng(7);
+  ZipfGenerator zipf(1'000, 1.2);
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t item = zipf(rng);
+    ss.Offer(item);
+    ++truth[item];
+  }
+  // Per-item guarantee: true <= Count, Count - Error <= true.
+  for (const auto& entry : ss.Items()) {
+    const std::uint64_t true_count = truth[entry.item];
+    EXPECT_GE(entry.count, true_count);
+    EXPECT_LE(entry.count - entry.error, true_count);
+  }
+  // Any item with true count > n/k must be monitored.
+  for (const auto& [item, count] : truth) {
+    if (count > static_cast<std::uint64_t>(n) / 10) {
+      EXPECT_TRUE(ss.Contains(item)) << "item " << item;
+    }
+  }
+  // The heaviest item of Zipf(1.2) is unambiguous: it must be on top.
+  ASSERT_FALSE(ss.Items().empty());
+  EXPECT_EQ(ss.Items().front().item, 0u);
+}
+
+TEST(SpaceSavingTest, ItemsSortedByCount) {
+  SpaceSaving<int> ss(16);
+  for (int i = 0; i < 10; ++i) {
+    for (int rep = 0; rep <= i; ++rep) ss.Offer(i);
+  }
+  const auto items = ss.Items();
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    EXPECT_GE(items[i - 1].count, items[i].count);
+  }
+}
+
+TEST(LossyCountingTest, UndercountBoundedByEpsilonN) {
+  const double epsilon = 0.001;
+  LossyCounting<std::uint32_t> lc(epsilon);
+  std::map<std::uint32_t, std::uint64_t> truth;
+  Rng rng(11);
+  ZipfGenerator zipf(2'000, 1.0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t item = zipf(rng);
+    lc.Offer(item);
+    ++truth[item];
+  }
+  const auto bound = static_cast<std::uint64_t>(epsilon * n);
+  for (const auto& [item, count] : truth) {
+    // Estimated counts never exceed the truth and undercount by <= eps*N.
+    EXPECT_LE(lc.Count(item), count);
+    if (count > bound) {
+      EXPECT_TRUE(lc.Contains(item)) << "item " << item;
+      EXPECT_GE(lc.Count(item) + bound, count);
+    }
+  }
+}
+
+TEST(LossyCountingTest, PrunesInfrequentItems) {
+  LossyCounting<int> lc(0.01);  // bucket width 100
+  // 10k distinct singletons must not all survive.
+  for (int i = 0; i < 10'000; ++i) lc.Offer(i);
+  EXPECT_LT(lc.size(), 1'000u);
+}
+
+}  // namespace
+}  // namespace clic

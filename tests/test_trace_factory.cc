@@ -1,0 +1,80 @@
+#include "workload/trace_factory.h"
+
+#include <gtest/gtest.h>
+
+#include "core/trace.h"
+
+namespace clic {
+namespace {
+
+TEST(TraceFactoryTest, NamedTracesMatchFigure5Inventory) {
+  const auto& traces = NamedTraces();
+  ASSERT_EQ(traces.size(), 8u);
+  EXPECT_EQ(traces[0].name, "DB2_C60");
+  EXPECT_EQ(traces[7].name, "MY_H98");
+  for (const NamedTraceInfo& info : traces) {
+    EXPECT_GT(info.db_pages, 0u);
+    EXPECT_GT(info.buffer_pages, 0u);
+    EXPECT_GT(info.target_requests, 0u);
+    EXPECT_LT(info.buffer_pages, info.db_pages);
+  }
+}
+
+TEST(TraceFactoryTest, GenerationIsDeterministic) {
+  const Trace a = MakeNamedTrace("DB2_C60", 30'000);
+  const Trace b = MakeNamedTrace("DB2_C60", 30'000);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].page, b.requests[i].page) << "at " << i;
+    EXPECT_EQ(a.requests[i].hint_set, b.requests[i].hint_set) << "at " << i;
+    EXPECT_EQ(a.requests[i].op, b.requests[i].op) << "at " << i;
+    EXPECT_EQ(a.requests[i].write_kind, b.requests[i].write_kind)
+        << "at " << i;
+    if (HasFailure()) break;
+  }
+  ASSERT_EQ(a.hints->size(), b.hints->size());
+  for (HintSetId h = 0; h < a.hints->size(); ++h) {
+    EXPECT_EQ(a.hints->Get(h), b.hints->Get(h));
+  }
+}
+
+TEST(TraceFactoryTest, TraceShapeIsSane) {
+  // 100k requests: enough for the DSS traces to reach their first sort
+  // spill (a single fact-table scan can emit tens of thousands of reads
+  // before the first replacement write appears).
+  for (const char* name : {"DB2_C60", "DB2_H80", "MY_H65"}) {
+    const Trace trace = MakeNamedTrace(name, 100'000);
+    const TraceStats stats = ComputeStats(trace);
+    EXPECT_EQ(stats.requests, 100'000u) << name;
+    EXPECT_GT(stats.reads, 0u) << name;
+    EXPECT_GT(stats.writes, 0u) << name;
+    EXPECT_GT(stats.distinct_hint_sets, 4u) << name;
+    // Pages must stay inside the declared database.
+    std::uint64_t db_pages = 0;
+    for (const NamedTraceInfo& info : NamedTraces()) {
+      if (info.name == name) db_pages = info.db_pages;
+    }
+    for (const Request& r : trace.requests) {
+      ASSERT_LT(r.page, db_pages) << name;
+    }
+    // Both write kinds must appear: replacement writebacks from the
+    // client buffer and recovery/checkpoint writes.
+    bool saw_replacement = false, saw_recovery = false;
+    for (const Request& r : trace.requests) {
+      if (r.op != OpType::kWrite) continue;
+      saw_replacement |= r.write_kind == WriteKind::kReplacement;
+      saw_recovery |= r.write_kind == WriteKind::kRecovery;
+    }
+    EXPECT_TRUE(saw_replacement) << name;
+    if (std::string(name) == "DB2_C60") {
+      EXPECT_TRUE(saw_recovery) << name;  // OLTP checkpoints
+    }
+  }
+}
+
+TEST(TraceFactoryDeathTest, UnknownNameFailsLoudly) {
+  EXPECT_DEATH(MakeNamedTrace("NOT_A_TRACE", 100), "unknown trace");
+}
+
+}  // namespace
+}  // namespace clic

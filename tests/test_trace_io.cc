@@ -1,0 +1,95 @@
+#include "sim/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/trace.h"
+
+namespace clic {
+namespace {
+
+Trace SmallTrace() {
+  Trace trace;
+  trace.name = "unit";
+  const HintSetId a = trace.hints->Intern(HintVector{0, {1, 2, 3}});
+  const HintSetId b = trace.hints->Intern(HintVector{1, {7}});
+  const HintSetId c = trace.hints->Intern(HintVector{0, {}});
+  trace.requests = {
+      {10, a, 0, OpType::kRead, WriteKind::kNone},
+      {11, b, 1, OpType::kWrite, WriteKind::kReplacement},
+      {12, c, 0, OpType::kWrite, WriteKind::kRecovery},
+      {10, a, 0, OpType::kRead, WriteKind::kNone},
+  };
+  return trace;
+}
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "clic_trace_io_test.trc";
+};
+
+TEST_F(TraceIoTest, RoundTrip) {
+  const Trace original = SmallTrace();
+  ASSERT_TRUE(SaveTrace(original, path_));
+  auto loaded = LoadTrace(path_, "unit");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->name, original.name);
+  ASSERT_EQ(loaded->requests.size(), original.requests.size());
+  for (std::size_t i = 0; i < original.requests.size(); ++i) {
+    const Request& a = original.requests[i];
+    const Request& b = loaded->requests[i];
+    EXPECT_EQ(a.page, b.page);
+    EXPECT_EQ(a.hint_set, b.hint_set);
+    EXPECT_EQ(a.client, b.client);
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.write_kind, b.write_kind);
+  }
+  ASSERT_EQ(loaded->hints->size(), original.hints->size());
+  for (HintSetId h = 0; h < original.hints->size(); ++h) {
+    EXPECT_EQ(loaded->hints->Describe(h), original.hints->Describe(h));
+    EXPECT_EQ(loaded->hints->Get(h), original.hints->Get(h));
+  }
+}
+
+TEST_F(TraceIoTest, RejectsWrongName) {
+  ASSERT_TRUE(SaveTrace(SmallTrace(), path_));
+  EXPECT_FALSE(LoadTrace(path_, "other").has_value());
+}
+
+TEST_F(TraceIoTest, RejectsMissingFile) {
+  EXPECT_FALSE(LoadTrace(path_ + ".nope", "unit").has_value());
+}
+
+TEST_F(TraceIoTest, RejectsCorruption) {
+  ASSERT_TRUE(SaveTrace(SmallTrace(), path_));
+  // Flip one byte in the middle of the file.
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, size / 2, SEEK_SET);
+  int byte = std::fgetc(f);
+  std::fseek(f, size / 2, SEEK_SET);
+  std::fputc(byte ^ 0xFF, f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadTrace(path_, "unit").has_value());
+}
+
+TEST_F(TraceIoTest, RejectsTruncation) {
+  ASSERT_TRUE(SaveTrace(SmallTrace(), path_));
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path_.c_str(), size - 9), 0);
+  EXPECT_FALSE(LoadTrace(path_, "unit").has_value());
+}
+
+}  // namespace
+}  // namespace clic

@@ -1,0 +1,108 @@
+#include "sim/trace_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/trace.h"
+
+namespace clic {
+namespace {
+
+Trace TwoHintTrace(const std::string& name, PageId base) {
+  Trace trace;
+  trace.name = name;
+  const HintSetId a = trace.hints->Intern(HintVector{0, {1}});
+  const HintSetId b = trace.hints->Intern(HintVector{0, {2}});
+  for (int i = 0; i < 6; ++i) {
+    Request r;
+    r.page = base + static_cast<PageId>(i % 3);
+    r.hint_set = (i % 2) ? b : a;
+    trace.requests.push_back(r);
+  }
+  return trace;
+}
+
+TEST(InjectNoiseHintsTest, ZeroTypesIsIdentity) {
+  const Trace base = TwoHintTrace("base", 0);
+  const Trace noisy = InjectNoiseHints(base, 0, 10, 1.0, 99);
+  ASSERT_EQ(noisy.requests.size(), base.requests.size());
+  EXPECT_EQ(noisy.hints.get(), base.hints.get());  // registry is shared
+  for (std::size_t i = 0; i < base.requests.size(); ++i) {
+    EXPECT_EQ(noisy.requests[i].hint_set, base.requests[i].hint_set);
+  }
+}
+
+TEST(InjectNoiseHintsTest, AppendsAttributesAndMultipliesHintSets) {
+  const Trace base = TwoHintTrace("base", 0);
+  const Trace noisy = InjectNoiseHints(base, 2, 10, 1.0, 99);
+  ASSERT_EQ(noisy.requests.size(), base.requests.size());
+  EXPECT_GE(noisy.hints->size(), base.hints->size());
+  for (std::size_t i = 0; i < base.requests.size(); ++i) {
+    const HintVector& orig = base.hints->Get(base.requests[i].hint_set);
+    const HintVector& got = noisy.hints->Get(noisy.requests[i].hint_set);
+    ASSERT_EQ(got.attrs.size(), orig.attrs.size() + 2);
+    for (std::size_t a = 0; a < orig.attrs.size(); ++a) {
+      EXPECT_EQ(got.attrs[a], orig.attrs[a]);  // prefix preserved
+    }
+    // Pages and ops are untouched.
+    EXPECT_EQ(noisy.requests[i].page, base.requests[i].page);
+    EXPECT_EQ(noisy.requests[i].op, base.requests[i].op);
+  }
+}
+
+TEST(InjectNoiseHintsTest, DeterministicInSeed) {
+  const Trace base = TwoHintTrace("base", 0);
+  const Trace n1 = InjectNoiseHints(base, 3, 10, 1.0, 1234);
+  const Trace n2 = InjectNoiseHints(base, 3, 10, 1.0, 1234);
+  const Trace n3 = InjectNoiseHints(base, 3, 10, 1.0, 4321);
+  ASSERT_EQ(n1.requests.size(), n2.requests.size());
+  bool any_difference_to_n3 = false;
+  for (std::size_t i = 0; i < n1.requests.size(); ++i) {
+    EXPECT_EQ(n1.hints->Get(n1.requests[i].hint_set),
+              n2.hints->Get(n2.requests[i].hint_set));
+    any_difference_to_n3 |=
+        !(n1.hints->Get(n1.requests[i].hint_set) ==
+          n3.hints->Get(n3.requests[i].hint_set));
+  }
+  EXPECT_TRUE(any_difference_to_n3) << "different seeds, same noise?";
+}
+
+TEST(InterleaveTest, RoundRobinWithClientTagging) {
+  const Trace t0 = TwoHintTrace("t0", 0);
+  const Trace t1 = TwoHintTrace("t1", 100);
+  const Trace merged = Interleave("merged", {&t0, &t1});
+  ASSERT_EQ(merged.size(), t0.size() + t1.size());
+  EXPECT_EQ(merged.name, "merged");
+  // Round-robin: even positions client 0, odd positions client 1 (the
+  // sources have equal length).
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged.requests[i].client, i % 2 == 0 ? 0 : 1);
+  }
+  // Hint vectors carry the source client id, so identical attribute
+  // vectors from different clients stay distinct hint sets.
+  std::set<HintSetId> client0_hints, client1_hints;
+  for (const Request& r : merged.requests) {
+    const HintVector& v = merged.hints->Get(r.hint_set);
+    EXPECT_EQ(v.client, r.client);
+    (r.client == 0 ? client0_hints : client1_hints).insert(r.hint_set);
+  }
+  for (HintSetId h : client0_hints) {
+    EXPECT_EQ(client1_hints.count(h), 0u);
+  }
+}
+
+TEST(InterleaveTest, UnevenSourcesDrainCompletely) {
+  Trace small = TwoHintTrace("small", 0);
+  small.requests.resize(2);
+  const Trace big = TwoHintTrace("big", 50);
+  const Trace merged = Interleave("m", {&small, &big});
+  EXPECT_EQ(merged.size(), 2 + big.size());
+  // Tail of the merge is all client 1.
+  for (std::size_t i = 4; i < merged.size(); ++i) {
+    EXPECT_EQ(merged.requests[i].client, 1);
+  }
+}
+
+}  // namespace
+}  // namespace clic

@@ -1,0 +1,85 @@
+// A simulated client (DBMS) buffer pool. The storage server only sees
+// the client's buffer *misses* and writebacks, which is what makes
+// second-tier caching hard: the client strips the short-term locality
+// out of the request stream before it ever reaches the server. All the
+// named traces are produced by pushing a logical access stream through
+// one of these and recording what falls out the bottom.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trace.h"
+#include "policies/common.h"
+
+namespace clic {
+
+class ClientBuffer {
+ public:
+  struct AccessResult {
+    bool miss = false;            // the client had to read from the server
+    bool evicted = false;         // an eviction happened
+    bool evicted_dirty = false;   // ... and the victim needs writing back
+    PageId evicted_page = 0;
+    HintSetId evicted_hint = 0;   // hint of the victim's last access
+  };
+
+  explicit ClientBuffer(std::size_t pages)
+      : arena_(pages == 0 ? 1 : pages) {}
+
+  AccessResult Access(PageId page, bool dirty, HintSetId hint) {
+    AccessResult result;
+    const std::uint32_t slot = table_.Get(page);
+    if (slot != kInvalidIndex) {
+      auto& payload = arena_[slot].payload;
+      payload.dirty |= dirty ? 1 : 0;
+      payload.hint = hint;
+      arena_.MoveToFront(lru_, slot);
+      return result;
+    }
+    result.miss = true;
+    if (arena_.Full()) {
+      const std::uint32_t victim = arena_.PopBack(lru_);
+      result.evicted = true;
+      result.evicted_page = arena_[victim].page;
+      result.evicted_dirty = arena_[victim].payload.dirty != 0;
+      result.evicted_hint = arena_[victim].payload.hint;
+      table_.Clear(arena_[victim].page);
+      arena_.Free(victim);
+    }
+    const std::uint32_t node = arena_.Alloc(page);
+    arena_[node].payload.dirty = dirty ? 1 : 0;
+    arena_[node].payload.hint = hint;
+    arena_.PushFront(lru_, node);
+    table_.Set(page, node);
+    return result;
+  }
+
+  /// Cleans up to `max_pages` dirty pages (coldest first), invoking
+  /// emit(page, hint) for each — the checkpoint / recovery write stream.
+  template <typename Emit>
+  std::size_t FlushDirty(std::size_t max_pages, Emit&& emit) {
+    std::size_t flushed = 0;
+    for (std::uint32_t i = lru_.tail;
+         i != kInvalidIndex && flushed < max_pages; i = arena_[i].prev) {
+      auto& payload = arena_[i].payload;
+      if (!payload.dirty) continue;
+      payload.dirty = 0;
+      emit(arena_[i].page, payload.hint);
+      ++flushed;
+    }
+    return flushed;
+  }
+
+ private:
+  struct Payload {
+    std::uint8_t dirty = 0;
+    HintSetId hint = 0;
+  };
+
+  PageTable table_;
+  ListArena<Payload> arena_;
+  ListHead lru_;
+};
+
+}  // namespace clic
