@@ -1,15 +1,12 @@
 // Ablation: extended policy comparison. Adds the related-work baselines
 // (MQ, 2Q, CLOCK — Section 7) and a TQ write-bonus sweep to the Figure 6
-// setting, on the DB2_C300 trace at 12K pages.
+// setting, on the DB2_C300 trace at 12K pages. The policy grid runs in
+// parallel via `clic_sweep --figure=ablation`.
 #include "bench_util.h"
 #include "policies/tq.h"
 
 namespace clic::bench {
 namespace {
-
-void ExtendedPolicy(benchmark::State& state, PolicyKind kind) {
-  RunPoint(state, GetTrace("DB2_C300"), kind, 12'000);
-}
 
 void TqBonus(benchmark::State& state, double bonus) {
   const Trace& trace = GetTrace("DB2_C300");
@@ -22,18 +19,10 @@ void TqBonus(benchmark::State& state, double bonus) {
 }
 
 void RegisterAll() {
-  for (PolicyKind kind :
-       {PolicyKind::kLru, PolicyKind::kClock, PolicyKind::kTwoQ,
-        PolicyKind::kMq, PolicyKind::kArc, PolicyKind::kTq,
-        PolicyKind::kClic}) {
-    const std::string name = std::string("AblationPolicies/DB2_C300/") +
-                             std::string(PolicyName(kind));
-    benchmark::RegisterBenchmark(
-        name.c_str(),
-        [kind](benchmark::State& s) { ExtendedPolicy(s, kind); })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
-  }
+  sweep::SweepSpec spec = *sweep::FigureSpec("ablation");
+  spec.clic = PaperClicOptions();
+  RegisterSweepBenches("AblationPolicies", spec);
+
   for (double bonus : {0.25, 0.5, 1.0, 2.0, 4.0}) {
     const std::string name =
         "AblationPolicies/DB2_C300/TQ_bonus=" + std::to_string(bonus);

@@ -2,34 +2,17 @@
 // the storage-server cache size, for the three DB2 TPC-C traces
 // (DB2_C60 / DB2_C300 / DB2_C540). Cache sizes are 1/10 of the paper's
 // 60K-300K page sweep. Each benchmark emits one plotted point as the
-// read_hit_ratio counter.
+// read_hit_ratio counter. The same grid runs in parallel via
+// `clic_sweep --figure=6`.
 #include "bench_util.h"
 
 namespace clic::bench {
 namespace {
 
-void Fig6(benchmark::State& state, const std::string& trace_name,
-          PolicyKind kind, std::size_t cache_pages) {
-  RunPoint(state, GetTrace(trace_name), kind, cache_pages);
-}
-
 void RegisterAll() {
-  for (const char* trace : {"DB2_C60", "DB2_C300", "DB2_C540"}) {
-    for (PolicyKind kind : PaperPolicies()) {
-      for (std::size_t cache : {6'000u, 12'000u, 18'000u, 24'000u, 30'000u}) {
-        const std::string name = std::string("Fig6/") + trace + "/" +
-                                 std::string(PolicyName(kind)) + "/" +
-                                 std::to_string(cache);
-        benchmark::RegisterBenchmark(
-            name.c_str(),
-            [trace = std::string(trace), kind, cache](benchmark::State& s) {
-              Fig6(s, trace, kind, cache);
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
-      }
-    }
-  }
+  sweep::SweepSpec spec = *sweep::FigureSpec("6");
+  spec.clic = PaperClicOptions();
+  RegisterSweepBenches("Fig6", spec);
 }
 
 const int registered = (RegisterAll(), 0);

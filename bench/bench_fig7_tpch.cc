@@ -1,28 +1,16 @@
 // Figure 7: read hit ratio vs server cache size for the DB2 TPC-H traces
 // (DB2_H80 / DB2_H400 / DB2_H720), all five policies. Cache sizes are
-// 1/10 of the paper's sweep.
+// 1/10 of the paper's sweep. The same grid runs in parallel via
+// `clic_sweep --figure=7`.
 #include "bench_util.h"
 
 namespace clic::bench {
 namespace {
 
 void RegisterAll() {
-  for (const char* trace : {"DB2_H80", "DB2_H400", "DB2_H720"}) {
-    for (PolicyKind kind : PaperPolicies()) {
-      for (std::size_t cache : {6'000u, 12'000u, 18'000u, 24'000u, 30'000u}) {
-        const std::string name = std::string("Fig7/") + trace + "/" +
-                                 std::string(PolicyName(kind)) + "/" +
-                                 std::to_string(cache);
-        benchmark::RegisterBenchmark(
-            name.c_str(),
-            [trace = std::string(trace), kind, cache](benchmark::State& s) {
-              RunPoint(s, GetTrace(trace), kind, cache);
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
-      }
-    }
-  }
+  sweep::SweepSpec spec = *sweep::FigureSpec("7");
+  spec.clic = PaperClicOptions();
+  RegisterSweepBenches("Fig7", spec);
 }
 
 const int registered = (RegisterAll(), 0);

@@ -1,28 +1,16 @@
 // Figure 8: read hit ratio vs server cache size for the MySQL TPC-H
 // traces (MY_H65 / MY_H98), all five policies. Cache sizes are 1/10 of
-// the paper's 50K/75K/100K sweep.
+// the paper's 50K/75K/100K sweep. The same grid runs in parallel via
+// `clic_sweep --figure=8`.
 #include "bench_util.h"
 
 namespace clic::bench {
 namespace {
 
 void RegisterAll() {
-  for (const char* trace : {"MY_H65", "MY_H98"}) {
-    for (PolicyKind kind : PaperPolicies()) {
-      for (std::size_t cache : {5'000u, 7'500u, 10'000u}) {
-        const std::string name = std::string("Fig8/") + trace + "/" +
-                                 std::string(PolicyName(kind)) + "/" +
-                                 std::to_string(cache);
-        benchmark::RegisterBenchmark(
-            name.c_str(),
-            [trace = std::string(trace), kind, cache](benchmark::State& s) {
-              RunPoint(s, GetTrace(trace), kind, cache);
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
-      }
-    }
-  }
+  sweep::SweepSpec spec = *sweep::FigureSpec("8");
+  spec.clic = PaperClicOptions();
+  RegisterSweepBenches("Fig8", spec);
 }
 
 const int registered = (RegisterAll(), 0);

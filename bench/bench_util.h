@@ -2,104 +2,33 @@
 //
 // Traces are generated at the DESIGN.md scaled lengths (capped by the
 // CLIC_BENCH_REQUESTS environment variable if set) and cached on disk
-// under CLIC_TRACE_CACHE_DIR (default: ./clic_trace_cache), so the
-// fourteen bench binaries do not regenerate the same workloads.
+// under CLIC_TRACE_CACHE_DIR (default: ./clic_trace_cache) through the
+// process-wide sweep::TraceCache, so the fourteen bench binaries and
+// clic_sweep never regenerate the same workloads.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
-#include <cerrno>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <map>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <sys/stat.h>
 
 #include "sim/policy_factory.h"
 #include "sim/simulator.h"
-#include "sim/trace_io.h"
+#include "sweep/sweep.h"
+#include "sweep/trace_cache.h"
 #include "workload/trace_factory.h"
 
 namespace clic::bench {
 
-inline std::uint64_t RequestCap() {
-  constexpr std::uint64_t kDefault = 2'000'000;  // full suite in minutes
-  const char* env = std::getenv("CLIC_BENCH_REQUESTS");
-  if (env == nullptr || *env == '\0') return kDefault;
-  errno = 0;
-  char* end = nullptr;
-  const std::uint64_t value = std::strtoull(env, &end, 10);
-  if (errno != 0 || end == env || *end != '\0' || value == 0) {
-    std::fprintf(stderr,
-                 "CLIC_BENCH_REQUESTS='%s' is not a positive integer; "
-                 "using default %llu\n",
-                 env, static_cast<unsigned long long>(kDefault));
-    return kDefault;
-  }
-  return value;
-}
-
-inline std::string CacheDir() {
-  if (const char* env = std::getenv("CLIC_TRACE_CACHE_DIR")) return env;
-  return "clic_trace_cache";
-}
-
-/// Returns the named trace, generated once per process and cached on disk
-/// across processes. Thread-safe. Unknown names abort: silently replaying
-/// an empty trace would report fake hit ratios.
+/// Returns the named trace, generated once per process and cached on
+/// disk across processes. Thread-safe with per-trace granularity (see
+/// sweep/trace_cache.h). Unknown names abort.
 inline const Trace& GetTrace(const std::string& name) {
-  static std::mutex mutex;
-  static std::map<std::string, std::unique_ptr<Trace>> traces;
-  std::lock_guard<std::mutex> lock(mutex);
-  auto it = traces.find(name);
-  if (it != traces.end()) return *it->second;
-
-  std::uint64_t target = 0;
-  bool known = false;
-  for (const NamedTraceInfo& info : NamedTraces()) {
-    if (info.name == name) {
-      target = info.target_requests;
-      known = true;
-    }
-  }
-  if (!known) {
-    std::fprintf(stderr, "GetTrace: unknown trace '%s' (see NamedTraces())\n",
-                 name.c_str());
-    std::exit(1);
-  }
-  target = std::min(target, RequestCap());
-
-  const std::string dir = CacheDir();
-  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
-    std::fprintf(stderr, "GetTrace: mkdir('%s') failed: %s\n", dir.c_str(),
-                 std::strerror(errno));
-    std::exit(1);
-  }
-  // Cache key = name + target length + generator version: any of the
-  // three changing invalidates the cached file.
-  const std::string path = dir + "/" + name + "_" +
-                           std::to_string(target) + "_g" +
-                           std::to_string(kTraceGeneratorVersion) + ".trc";
-  if (auto loaded = LoadTrace(path, name)) {
-    it = traces.emplace(name, std::make_unique<Trace>(std::move(*loaded)))
-             .first;
-    return *it->second;
-  }
-  Trace generated = MakeNamedTrace(name, target);
-  if (!SaveTrace(generated, path)) {
-    std::fprintf(stderr, "GetTrace: warning: could not cache trace to %s\n",
-                 path.c_str());
-  }
-  it = traces.emplace(name, std::make_unique<Trace>(std::move(generated)))
-           .first;
-  return *it->second;
+  return sweep::TraceCache::Global().Get(name);
 }
 
 /// CLIC options used throughout the evaluation (paper Section 6.1):
 /// W scaled to 1e5, r = 1, Noutq = 5 per page, 1% metadata charge.
+/// These are also ClicOptions' defaults; spelled out for readability.
 inline ClicOptions PaperClicOptions() {
   ClicOptions options;
   options.window = 100'000;
@@ -125,6 +54,27 @@ inline void RunPoint(benchmark::State& state, const Trace& trace,
       static_cast<double>(result.total.reads + result.total.writes);
   state.SetItemsProcessed(static_cast<std::int64_t>(trace.size()) *
                           static_cast<std::int64_t>(state.iterations()));
+}
+
+/// Registers one benchmark per grid point of `spec`, named
+/// `<prefix>/<trace>/<policy>/<cache_pages>` — the declarative form
+/// shared by the Figure 6/7/8 and policy-ablation drivers. The same
+/// spec fed to sweep::SweepRunner (what clic_sweep does) replays the
+/// identical grid in parallel.
+inline void RegisterSweepBenches(const std::string& prefix,
+                                 const sweep::SweepSpec& spec) {
+  for (const sweep::SweepPoint& p : sweep::ExpandGrid(spec)) {
+    const std::string name = prefix + "/" + p.trace + "/" +
+                             std::string(PolicyName(p.policy)) + "/" +
+                             std::to_string(p.cache_pages);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [p, clic = spec.clic](benchmark::State& s) {
+          RunPoint(s, GetTrace(p.trace), p.policy, p.cache_pages, clic);
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
 }
 
 }  // namespace clic::bench

@@ -83,8 +83,11 @@ class HintRegistry {
 };
 
 /// A named request trace plus the registry its hint ids refer to. The
-/// registry is shared so derived traces (noise-injected, interleaved) and
-/// ClicOptions::hint_space can alias it.
+/// shared_ptr exists so read-only users (ClicOptions::hint_space) can
+/// alias the registry; derived traces (noise-injected, interleaved) must
+/// build or deep-copy their own — two traces sharing one registry would
+/// also share mutable interning state, so an Intern() through either
+/// would mutate both (the trace-ops bug fixed in PR 2).
 struct Trace {
   std::string name;
   std::shared_ptr<HintRegistry> hints = std::make_shared<HintRegistry>();

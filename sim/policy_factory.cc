@@ -1,5 +1,6 @@
 #include "sim/policy_factory.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 
@@ -33,6 +34,33 @@ const char* PolicyName(PolicyKind kind) {
       return "MQ";
   }
   return "?";
+}
+
+const std::vector<PolicyKind>& AllPolicies() {
+  static const std::vector<PolicyKind> kinds = {
+      PolicyKind::kOpt,   PolicyKind::kTq,  PolicyKind::kLru,
+      PolicyKind::kArc,   PolicyKind::kClic, PolicyKind::kClock,
+      PolicyKind::kTwoQ,  PolicyKind::kMq,
+  };
+  return kinds;
+}
+
+std::optional<PolicyKind> ParsePolicyKind(std::string_view name) {
+  auto equals_ignore_case = [](std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(a[i])) !=
+          std::toupper(static_cast<unsigned char>(b[i]))) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (PolicyKind kind : AllPolicies()) {
+    if (equals_ignore_case(name, PolicyName(kind))) return kind;
+  }
+  if (equals_ignore_case(name, "TWOQ")) return PolicyKind::kTwoQ;
+  return std::nullopt;
 }
 
 std::unique_ptr<Policy> MakePolicy(PolicyKind kind, std::size_t cache_pages,

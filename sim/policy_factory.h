@@ -4,6 +4,9 @@
 
 #include <array>
 #include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
 
 #include "core/clic.h"
 #include "core/policy.h"
@@ -23,6 +26,14 @@ enum class PolicyKind {
 };
 
 const char* PolicyName(PolicyKind kind);
+
+/// Case-insensitive inverse of PolicyName ("lru", "2q", "CLIC", ...).
+/// Returns nullopt for unknown names.
+std::optional<PolicyKind> ParsePolicyKind(std::string_view name);
+
+/// Every kind: the paper's legend order, then the related-work
+/// baselines. Used by `clic_sweep --list` and flag validation.
+const std::vector<PolicyKind>& AllPolicies();
 
 /// The five policies plotted in Figures 6-8, in the paper's legend order.
 inline std::array<PolicyKind, 5> PaperPolicies() {

@@ -6,13 +6,18 @@ namespace clic {
 
 SimResult Simulate(const Trace& trace, Policy& policy) {
   SimResult result;
-  // Flat per-client accumulators on the hot loop; folded into the map
+  // Flat per-client accumulators, pre-sized by a single cheap scan so
+  // the replay loop carries no growth branch; folded into the map
   // afterwards. Client ids are small dense integers.
-  std::vector<CacheStats> clients;
+  ClientId max_client = 0;
+  for (const Request& r : trace.requests) {
+    if (r.client > max_client) max_client = r.client;
+  }
+  std::vector<CacheStats> clients(
+      trace.requests.empty() ? 0 : static_cast<std::size_t>(max_client) + 1);
   SeqNum seq = 0;
   for (const Request& r : trace.requests) {
     const bool hit = policy.Access(r, seq++);
-    if (r.client >= clients.size()) clients.resize(r.client + 1);
     CacheStats& c = clients[r.client];
     if (r.op == OpType::kRead) {
       ++result.total.reads;

@@ -1,9 +1,12 @@
 #include "sim/trace_io.h"
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <vector>
+
+#include <unistd.h>
 
 #include "common/fnv1a.h"
 
@@ -44,7 +47,14 @@ bool ReadScalar(std::FILE* f, Fnv1a& sum, T* value) {
 }  // namespace
 
 bool SaveTrace(const Trace& trace, const std::string& path) {
-  const std::string tmp = path + ".tmp";
+  // Unique temp name per (process, call): concurrent savers of the same
+  // trace never interleave writes into one file, and the final path only
+  // ever appears via the atomic rename() below — readers see a complete
+  // checksummed file or nothing.
+  static std::atomic<std::uint64_t> save_counter{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(save_counter.fetch_add(1, std::memory_order_relaxed));
   FilePtr file(std::fopen(tmp.c_str(), "wb"));
   if (!file) return false;
   std::FILE* f = file.get();

@@ -12,8 +12,10 @@ Trace InjectNoiseHints(const Trace& base, int num_types, int domain_size,
   out.name = base.name + "+noise" + std::to_string(num_types);
   out.requests.reserve(base.requests.size());
   if (num_types <= 0) {
-    // No noise: share the registry, copy the requests.
-    out.hints = base.hints;
+    // No noise: copy the requests and deep-copy the registry. Sharing
+    // base.hints would alias mutable interning state — a later Intern()
+    // through either trace would mutate both.
+    out.hints = std::make_shared<HintRegistry>(*base.hints);
     out.requests = base.requests;
     return out;
   }

@@ -1,0 +1,319 @@
+// clic_sweep: replay any figure's (trace × policy × cache-size) grid on
+// a thread pool and emit one CSV or JSON row per point.
+//
+//   clic_sweep --figure=6 --threads=8 --format=csv --output=fig6.csv
+//   clic_sweep --traces=DB2_C60,MY_H65 --policies=LRU,CLIC
+//              --cache-pages=6000,12000 --threads=4 --format=json
+//
+// Row order is the grid expansion order (traces, then policies, then
+// cache sizes) for every thread count, so outputs from different
+// --threads values diff clean (wall_seconds column aside).
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sweep/sweep.h"
+#include "sweep/trace_cache.h"
+#include "workload/trace_factory.h"
+
+namespace clic::sweep {
+namespace {
+
+struct CliOptions {
+  SweepSpec spec;
+  unsigned threads = 0;  // 0 = hardware concurrency
+  std::uint64_t requests = 0;  // 0 = CLIC_BENCH_REQUESTS / default
+  std::string cache_dir;       // empty = CLIC_TRACE_CACHE_DIR / default
+  std::string format = "csv";
+  std::string output;  // empty = stdout
+};
+
+void Usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "Usage: clic_sweep [flags]\n"
+      "\n"
+      "Grid selection (a --figure preset, explicit flags, or both —\n"
+      "explicit flags override the preset's corresponding field):\n"
+      "  --figure=6|7|8|ablation   paper figure grid\n"
+      "  --traces=A,B              named traces (see --list)\n"
+      "  --policies=LRU,CLIC       policy names (see --list)\n"
+      "  --cache-pages=6000,12000  server cache sizes, in pages\n"
+      "\n"
+      "Execution:\n"
+      "  --threads=N        worker threads (default: hardware concurrency)\n"
+      "  --requests=N       cap trace length (overrides CLIC_BENCH_REQUESTS)\n"
+      "  --cache-dir=PATH   trace cache dir (overrides "
+      "CLIC_TRACE_CACHE_DIR)\n"
+      "\n"
+      "CLIC options (defaults are the paper's Section 6.1 setup):\n"
+      "  --window=W --decay=R --outqueue=N --no-charge-metadata\n"
+      "  --tracker=exact|space_saving|lossy_counting --top-k=K\n"
+      "\n"
+      "Output:\n"
+      "  --format=csv|json  csv: header + one line per point;\n"
+      "                     json: one array of row objects\n"
+      "  --output=FILE      default: stdout\n"
+      "  --list             print known traces and policies, then exit\n"
+      "  --help             this text\n");
+}
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "clic_sweep: %s\n", message.c_str());
+  std::fprintf(stderr, "Run clic_sweep --help for usage.\n");
+  std::exit(2);
+}
+
+std::vector<std::string> SplitCsv(const std::string& value) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    const std::size_t end = comma == std::string::npos ? value.size() : comma;
+    if (end > start) parts.push_back(value.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+std::uint64_t ParseU64(const std::string& flag, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end == value.c_str() || *end != '\0' || parsed == 0) {
+    Die(flag + "='" + value + "' is not a positive integer");
+  }
+  return parsed;
+}
+
+double ParseDouble(const std::string& flag, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end == value.c_str() || *end != '\0' ||
+      !std::isfinite(parsed) || parsed < 0.0) {
+    Die(flag + "='" + value + "' is not a finite non-negative number");
+  }
+  return parsed;
+}
+
+void ValidateTraceNames(const std::vector<std::string>& names) {
+  for (const std::string& name : names) {
+    bool known = false;
+    for (const NamedTraceInfo& info : NamedTraces()) {
+      known = known || info.name == name;
+    }
+    if (!known) Die("unknown trace '" + name + "' (see --list)");
+  }
+}
+
+void ApplyFigurePreset(const std::string& figure, SweepSpec* spec) {
+  const std::optional<SweepSpec> preset = FigureSpec(figure);
+  if (!preset) {
+    Die("unknown --figure='" + figure + "' (want 6, 7, 8 or ablation)");
+  }
+  // Only the grid fields: CLIC option flags parsed before --figure
+  // must survive the preset.
+  spec->traces = preset->traces;
+  spec->policies = preset->policies;
+  spec->cache_sizes = preset->cache_sizes;
+}
+
+void PrintList() {
+  std::printf("Traces (name dbms workload db_pages buffer_pages "
+              "target_requests):\n");
+  for (const NamedTraceInfo& info : NamedTraces()) {
+    std::printf("  %-9s %-5s %-4s %8llu %8llu %9llu\n", info.name.c_str(),
+                info.dbms.c_str(), info.workload.c_str(),
+                static_cast<unsigned long long>(info.db_pages),
+                static_cast<unsigned long long>(info.buffer_pages),
+                static_cast<unsigned long long>(info.target_requests));
+  }
+  std::printf("Policies:");
+  for (PolicyKind kind : AllPolicies()) {
+    std::printf(" %s", PolicyName(kind));
+  }
+  std::printf("\n");
+}
+
+CliOptions Parse(int argc, char** argv) {
+  CliOptions cli;
+  std::string figure, traces, policies, cache_pages;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      Usage(stdout);
+      std::exit(0);
+    }
+    if (arg == "--list") {
+      PrintList();
+      std::exit(0);
+    }
+    if (arg == "--no-charge-metadata") {
+      cli.spec.clic.charge_metadata = false;
+      continue;
+    }
+    const std::size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      Die("unrecognized argument '" + arg + "'");
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "--figure") {
+      figure = value;
+    } else if (key == "--traces") {
+      traces = value;
+    } else if (key == "--policies") {
+      policies = value;
+    } else if (key == "--cache-pages") {
+      cache_pages = value;
+    } else if (key == "--threads") {
+      const std::uint64_t threads = ParseU64(key, value);
+      if (threads > 4096) Die(key + "='" + value + "' is unreasonably large");
+      cli.threads = static_cast<unsigned>(threads);
+    } else if (key == "--requests") {
+      cli.requests = ParseU64(key, value);
+    } else if (key == "--cache-dir") {
+      cli.cache_dir = value;
+    } else if (key == "--window") {
+      cli.spec.clic.window = ParseU64(key, value);
+    } else if (key == "--decay") {
+      cli.spec.clic.decay = ParseDouble(key, value);
+    } else if (key == "--outqueue") {
+      cli.spec.clic.outqueue_per_page = ParseDouble(key, value);
+    } else if (key == "--top-k") {
+      cli.spec.clic.top_k = static_cast<std::size_t>(ParseU64(key, value));
+    } else if (key == "--tracker") {
+      if (value == "exact") {
+        cli.spec.clic.tracker = TrackerKind::kExact;
+      } else if (value == "space_saving") {
+        cli.spec.clic.tracker = TrackerKind::kSpaceSaving;
+      } else if (value == "lossy_counting") {
+        cli.spec.clic.tracker = TrackerKind::kLossyCounting;
+      } else {
+        Die("unknown --tracker='" + value + "'");
+      }
+    } else if (key == "--format") {
+      if (value != "csv" && value != "json") {
+        Die("unknown --format='" + value + "' (want csv or json)");
+      }
+      cli.format = value;
+    } else if (key == "--output") {
+      cli.output = value;
+    } else {
+      Die("unrecognized flag '" + key + "'");
+    }
+  }
+
+  if (!figure.empty()) ApplyFigurePreset(figure, &cli.spec);
+  if (!traces.empty()) cli.spec.traces = SplitCsv(traces);
+  if (!policies.empty()) {
+    cli.spec.policies.clear();
+    for (const std::string& name : SplitCsv(policies)) {
+      const std::optional<PolicyKind> kind = ParsePolicyKind(name);
+      if (!kind) Die("unknown policy '" + name + "' (see --list)");
+      cli.spec.policies.push_back(*kind);
+    }
+  }
+  if (!cache_pages.empty()) {
+    cli.spec.cache_sizes.clear();
+    for (const std::string& size : SplitCsv(cache_pages)) {
+      cli.spec.cache_sizes.push_back(
+          static_cast<std::size_t>(ParseU64("--cache-pages", size)));
+    }
+  }
+  if (cli.spec.traces.empty() || cli.spec.policies.empty() ||
+      cli.spec.cache_sizes.empty()) {
+    Die("empty grid: need --figure or all of --traces/--policies/"
+        "--cache-pages");
+  }
+  ValidateTraceNames(cli.spec.traces);
+  return cli;
+}
+
+int Main(int argc, char** argv) {
+  const CliOptions cli = Parse(argc, argv);
+
+  const unsigned threads =
+      cli.threads > 0 ? cli.threads
+                      : std::max(1u, std::thread::hardware_concurrency());
+  const std::string dir =
+      cli.cache_dir.empty() ? CacheDirFromEnv() : cli.cache_dir;
+  const std::uint64_t cap =
+      cli.requests > 0 ? cli.requests : RequestCapFromEnv();
+  TraceCache cache(dir, cap);
+
+  SweepRunner runner(
+      [&cache](const std::string& name) -> const Trace& {
+        return cache.Get(name);
+      },
+      threads);
+
+  // Open the output before the sweep: a bad --output path must fail in
+  // milliseconds, not after minutes of simulation.
+  std::FILE* out = stdout;
+  if (!cli.output.empty()) {
+    out = std::fopen(cli.output.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "clic_sweep: cannot open '%s': %s\n",
+                   cli.output.c_str(), std::strerror(errno));
+      return 1;
+    }
+  }
+
+  const std::size_t num_points = ExpandGrid(cli.spec).size();
+  std::fprintf(stderr,
+               "clic_sweep: %zu points (%zu traces x %zu policies x %zu "
+               "cache sizes), %u threads, request cap %llu\n",
+               num_points, cli.spec.traces.size(), cli.spec.policies.size(),
+               cli.spec.cache_sizes.size(), threads,
+               static_cast<unsigned long long>(cap));
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<SweepRow> rows = runner.Run(cli.spec);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  if (cli.format == "csv") {
+    std::fprintf(out, "%s\n", CsvHeader().c_str());
+    for (const SweepRow& row : rows) {
+      std::fprintf(out, "%s\n", CsvRow(row).c_str());
+    }
+  } else {
+    std::fprintf(out, "[\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(out, "  %s%s\n", JsonRow(rows[i]).c_str(),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "]\n");
+  }
+  // A failed write (e.g. ENOSPC) must not exit 0 with a truncated
+  // file; the flush on fclose can be the first call to see the error.
+  bool write_ok = std::ferror(out) == 0;
+  if (out != stdout) {
+    write_ok = std::fclose(out) == 0 && write_ok;
+  } else {
+    write_ok = std::fflush(out) == 0 && write_ok;
+  }
+  if (!write_ok) {
+    std::fprintf(stderr, "clic_sweep: error writing %s: %s\n",
+                 cli.output.empty() ? "stdout" : cli.output.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+
+  std::fprintf(stderr, "clic_sweep: done in %.2fs wall\n", elapsed.count());
+  return 0;
+}
+
+}  // namespace
+}  // namespace clic::sweep
+
+int main(int argc, char** argv) { return clic::sweep::Main(argc, argv); }

@@ -1,0 +1,262 @@
+#include "sweep/sweep.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace clic::sweep {
+namespace {
+
+/// Runs fn(0..n-1) across `threads` workers pulling indices from a
+/// shared atomic counter. fn must be safe to call concurrently for
+/// distinct indices. An exception thrown by fn stops the pool (workers
+/// finish their current item and exit) and is rethrown on the calling
+/// thread, so throwing behaves the same at any thread count.
+void RunOnPool(unsigned threads, std::size_t n,
+               const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto drain = [&] {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        next.store(n, std::memory_order_relaxed);  // stop handing out work
+        return;
+      }
+    }
+  };
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads, n));
+  if (workers <= 1) {
+    drain();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    try {
+      for (unsigned t = 0; t < workers; ++t) pool.emplace_back(drain);
+    } catch (...) {
+      // Thread startup failed (e.g. ulimit): stop handing out work and
+      // join what started — destroying a joinable std::thread would
+      // terminate the process instead of surfacing the error.
+      next.store(n, std::memory_order_relaxed);
+      for (std::thread& t : pool) t.join();
+      throw;
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void AppendDouble(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out->append(buf);
+}
+
+void AppendU64(std::string* out, std::uint64_t value) {
+  out->append(std::to_string(value));
+}
+
+std::string PerClientColumn(const SimResult& result) {
+  std::string out;
+  for (const auto& [client, stats] : result.per_client) {
+    if (!out.empty()) out.push_back(';');
+    out.append(std::to_string(client));
+    out.push_back('=');
+    out.append(std::to_string(stats.reads));
+    out.push_back(':');
+    out.append(std::to_string(stats.read_hits));
+    out.push_back(':');
+    out.append(std::to_string(stats.writes));
+    out.push_back(':');
+    out.append(std::to_string(stats.write_hits));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> ExpandGrid(const SweepSpec& spec) {
+  std::vector<SweepPoint> points;
+  points.reserve(spec.traces.size() * spec.policies.size() *
+                 spec.cache_sizes.size());
+  for (const std::string& trace : spec.traces) {
+    for (PolicyKind policy : spec.policies) {
+      for (std::size_t cache_pages : spec.cache_sizes) {
+        SweepPoint p;
+        p.index = points.size();
+        p.trace = trace;
+        p.policy = policy;
+        p.cache_pages = cache_pages;
+        points.push_back(std::move(p));
+      }
+    }
+  }
+  return points;
+}
+
+std::optional<SweepSpec> FigureSpec(const std::string& figure) {
+  const std::vector<std::size_t> db2_caches = {6'000, 12'000, 18'000,
+                                               24'000, 30'000};
+  const std::array<PolicyKind, 5> paper = PaperPolicies();
+  SweepSpec spec;  // default clic == the paper's Section 6.1 options
+  if (figure == "6") {
+    spec.traces = {"DB2_C60", "DB2_C300", "DB2_C540"};
+    spec.policies.assign(paper.begin(), paper.end());
+    spec.cache_sizes = db2_caches;
+  } else if (figure == "7") {
+    spec.traces = {"DB2_H80", "DB2_H400", "DB2_H720"};
+    spec.policies.assign(paper.begin(), paper.end());
+    spec.cache_sizes = db2_caches;
+  } else if (figure == "8") {
+    spec.traces = {"MY_H65", "MY_H98"};
+    spec.policies.assign(paper.begin(), paper.end());
+    spec.cache_sizes = {5'000, 7'500, 10'000};
+  } else if (figure == "ablation") {
+    spec.traces = {"DB2_C300"};
+    spec.policies = {PolicyKind::kLru,  PolicyKind::kClock,
+                     PolicyKind::kTwoQ, PolicyKind::kMq,
+                     PolicyKind::kArc,  PolicyKind::kTq,
+                     PolicyKind::kClic};
+    spec.cache_sizes = {12'000};
+  } else {
+    return std::nullopt;
+  }
+  return spec;
+}
+
+SweepRunner::SweepRunner(TraceProvider provider, unsigned threads)
+    : provider_(std::move(provider)), threads_(std::max(1u, threads)) {}
+
+std::vector<SweepRow> SweepRunner::Run(const SweepSpec& spec) const {
+  const std::vector<SweepPoint> points = ExpandGrid(spec);
+  std::vector<SweepRow> rows(points.size());
+
+  // Phase 1: resolve every distinct trace through the provider, on the
+  // pool so distinct traces generate/load concurrently. After this the
+  // replay phase touches traces read-only and its wall times contain
+  // no generation or disk work.
+  std::vector<std::string> names;
+  for (const SweepPoint& p : points) {
+    if (std::find(names.begin(), names.end(), p.trace) == names.end()) {
+      names.push_back(p.trace);
+    }
+  }
+  std::vector<const Trace*> resolved(names.size(), nullptr);
+  RunOnPool(threads_, names.size(),
+            [&](std::size_t i) { resolved[i] = &provider_(names[i]); });
+  std::unordered_map<std::string, const Trace*> traces;
+  traces.reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    traces.emplace(names[i], resolved[i]);
+  }
+
+  // Phase 2: replay the points. Workers write disjoint rows[i] slots,
+  // so the output order is the expansion order by construction.
+  RunOnPool(threads_, points.size(), [&](std::size_t i) {
+    const SweepPoint& p = points[i];
+    const Trace& trace = *traces.at(p.trace);
+    const auto start = std::chrono::steady_clock::now();
+    const auto policy = MakePolicy(p.policy, p.cache_pages, &trace, spec.clic);
+    SimResult result = Simulate(trace, *policy);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    rows[i].point = p;
+    rows[i].result = std::move(result);
+    rows[i].wall_seconds = elapsed.count();
+  });
+  return rows;
+}
+
+std::string CsvHeader() {
+  return "trace,policy,cache_pages,requests,reads,writes,read_hits,"
+         "write_hits,read_hit_ratio,write_hit_ratio,wall_seconds,per_client";
+}
+
+std::string CsvRow(const SweepRow& row) {
+  const CacheStats& t = row.result.total;
+  std::string out;
+  out.append(row.point.trace);
+  out.push_back(',');
+  out.append(PolicyName(row.point.policy));
+  out.push_back(',');
+  out.append(std::to_string(row.point.cache_pages));
+  out.push_back(',');
+  AppendU64(&out, t.reads + t.writes);
+  out.push_back(',');
+  AppendU64(&out, t.reads);
+  out.push_back(',');
+  AppendU64(&out, t.writes);
+  out.push_back(',');
+  AppendU64(&out, t.read_hits);
+  out.push_back(',');
+  AppendU64(&out, t.write_hits);
+  out.push_back(',');
+  AppendDouble(&out, t.ReadHitRatio());
+  out.push_back(',');
+  AppendDouble(&out, t.WriteHitRatio());
+  out.push_back(',');
+  AppendDouble(&out, row.wall_seconds);
+  out.push_back(',');
+  out.append(PerClientColumn(row.result));
+  return out;
+}
+
+std::string JsonRow(const SweepRow& row) {
+  const CacheStats& t = row.result.total;
+  std::string out = "{\"trace\":\"";
+  out.append(row.point.trace);  // trace names are [A-Za-z0-9_]: no escaping
+  out.append("\",\"policy\":\"");
+  out.append(PolicyName(row.point.policy));
+  out.append("\",\"cache_pages\":");
+  out.append(std::to_string(row.point.cache_pages));
+  out.append(",\"requests\":");
+  AppendU64(&out, t.reads + t.writes);
+  out.append(",\"reads\":");
+  AppendU64(&out, t.reads);
+  out.append(",\"writes\":");
+  AppendU64(&out, t.writes);
+  out.append(",\"read_hits\":");
+  AppendU64(&out, t.read_hits);
+  out.append(",\"write_hits\":");
+  AppendU64(&out, t.write_hits);
+  out.append(",\"read_hit_ratio\":");
+  AppendDouble(&out, t.ReadHitRatio());
+  out.append(",\"write_hit_ratio\":");
+  AppendDouble(&out, t.WriteHitRatio());
+  out.append(",\"wall_seconds\":");
+  AppendDouble(&out, row.wall_seconds);
+  out.append(",\"per_client\":{");
+  bool first = true;
+  for (const auto& [client, stats] : row.result.per_client) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out.append(std::to_string(client));
+    out.append("\":{\"reads\":");
+    AppendU64(&out, stats.reads);
+    out.append(",\"read_hits\":");
+    AppendU64(&out, stats.read_hits);
+    out.append(",\"writes\":");
+    AppendU64(&out, stats.writes);
+    out.append(",\"write_hits\":");
+    AppendU64(&out, stats.write_hits);
+    out.append("}");
+  }
+  out.append("}}");
+  return out;
+}
+
+}  // namespace clic::sweep

@@ -1,0 +1,88 @@
+// Parallel sweep engine: expands a declarative (trace × policy ×
+// cache-size) grid — the shape of every figure in the paper's
+// evaluation — into independent simulation points and executes them on
+// a fixed-size thread pool. Traces are resolved once per distinct name
+// and shared read-only; every point builds its own policy instance, so
+// points share no mutable state and the result of a point is identical
+// to running Simulate() sequentially. Result ordering is deterministic
+// (grid expansion order) regardless of how the pool schedules work.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/clic.h"
+#include "sim/policy_factory.h"
+#include "sim/simulator.h"
+
+namespace clic::sweep {
+
+/// Declarative grid. Expansion order is fixed — traces outermost, then
+/// policies, then cache sizes, matching the nesting of the figure
+/// benches — so a spec always yields the same row order no matter how
+/// (or on how many threads) it runs.
+struct SweepSpec {
+  std::vector<std::string> traces;
+  std::vector<PolicyKind> policies;
+  std::vector<std::size_t> cache_sizes;
+  /// Applied to kClic points; other policies ignore it. Defaults to
+  /// the paper's Section 6.1 configuration (W=1e5, r=1, Noutq=5,
+  /// metadata charged).
+  ClicOptions clic;
+};
+
+struct SweepPoint {
+  std::size_t index = 0;  // position in ExpandGrid order
+  std::string trace;
+  PolicyKind policy = PolicyKind::kLru;
+  std::size_t cache_pages = 0;
+};
+
+struct SweepRow {
+  SweepPoint point;
+  SimResult result;
+  double wall_seconds = 0.0;  // replay only; trace loading is excluded
+};
+
+std::vector<SweepPoint> ExpandGrid(const SweepSpec& spec);
+
+/// The preset grid of a paper figure: "6", "7", "8" (Figures 6-8) or
+/// "ablation" (the Section-7 extended policy comparison). The single
+/// source of truth for these grids — the figure bench drivers and the
+/// `clic_sweep --figure` presets both call it, so they can never
+/// diverge. Returns nullopt for unknown names.
+std::optional<SweepSpec> FigureSpec(const std::string& figure);
+
+class SweepRunner {
+ public:
+  /// Resolves a trace name to a loaded trace. Must be callable
+  /// concurrently (TraceCache::Get qualifies) and the returned
+  /// references must outlive Run().
+  using TraceProvider = std::function<const Trace&(const std::string&)>;
+
+  /// `threads` is clamped to >= 1; 0 means "one worker".
+  SweepRunner(TraceProvider provider, unsigned threads);
+
+  /// Executes every grid point and returns rows in ExpandGrid order.
+  std::vector<SweepRow> Run(const SweepSpec& spec) const;
+
+  unsigned threads() const { return threads_; }
+
+ private:
+  TraceProvider provider_;
+  unsigned threads_;
+};
+
+/// CSV / JSON row emission. Hit ratios are printed with %.17g so equal
+/// doubles produce byte-identical text (the N=1 vs N=8 comparison in CI
+/// diffs these rows). Per-client stats are flattened into one column as
+/// `client=reads:read_hits:writes:write_hits;...` in client-id order.
+std::string CsvHeader();
+std::string CsvRow(const SweepRow& row);
+/// One self-contained JSON object per row (per_client is a nested map).
+std::string JsonRow(const SweepRow& row);
+
+}  // namespace clic::sweep

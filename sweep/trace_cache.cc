@@ -1,0 +1,124 @@
+#include "sweep/trace_cache.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include "sim/trace_io.h"
+#include "workload/trace_factory.h"
+
+namespace clic::sweep {
+
+std::uint64_t RequestCapFromEnv() {
+  constexpr std::uint64_t kDefault = 2'000'000;  // full suite in minutes
+  const char* env = std::getenv("CLIC_BENCH_REQUESTS");
+  if (env == nullptr || *env == '\0') return kDefault;
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(env, &end, 10);
+  if (errno != 0 || end == env || *end != '\0' || value == 0) {
+    std::fprintf(stderr,
+                 "CLIC_BENCH_REQUESTS='%s' is not a positive integer; "
+                 "using default %llu\n",
+                 env, static_cast<unsigned long long>(kDefault));
+    return kDefault;
+  }
+  return value;
+}
+
+std::string CacheDirFromEnv() {
+  if (const char* env = std::getenv("CLIC_TRACE_CACHE_DIR")) return env;
+  return "clic_trace_cache";
+}
+
+namespace {
+
+/// Collects `.tmp.` orphans left by crashed or killed savers (SaveTrace
+/// writes to unique `<path>.tmp.<pid>.<n>` names, so nothing overwrites
+/// them). Only files older than an hour are removed: an in-flight save
+/// from a live concurrent process is seconds old and must not be
+/// disturbed.
+void RemoveStaleTempFiles(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  const std::time_t now = std::time(nullptr);
+  while (const dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.find(".tmp.") == std::string::npos) continue;
+    const std::string path = dir + "/" + name;
+    struct stat st{};
+    if (::stat(path.c_str(), &st) == 0 && now - st.st_mtime > 3600) {
+      std::remove(path.c_str());
+    }
+  }
+  ::closedir(d);
+}
+
+}  // namespace
+
+TraceCache::TraceCache(std::string dir, std::uint64_t request_cap)
+    : dir_(std::move(dir)), request_cap_(request_cap) {}
+
+TraceCache& TraceCache::Global() {
+  static TraceCache cache(CacheDirFromEnv(), RequestCapFromEnv());
+  return cache;
+}
+
+const Trace& TraceCache::Get(const std::string& name) {
+  Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(map_mutex_);
+    entry = &entries_[name];
+  }
+  std::call_once(entry->once, [&] { Fill(name, *entry); });
+  return *entry->trace;
+}
+
+void TraceCache::Fill(const std::string& name, Entry& entry) {
+  std::uint64_t target = 0;
+  bool known = false;
+  for (const NamedTraceInfo& info : NamedTraces()) {
+    if (info.name == name) {
+      target = info.target_requests;
+      known = true;
+    }
+  }
+  if (!known) {
+    std::fprintf(stderr,
+                 "TraceCache: unknown trace '%s' (see NamedTraces())\n",
+                 name.c_str());
+    std::exit(1);
+  }
+  target = std::min(target, request_cap_);
+
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "TraceCache: mkdir('%s') failed: %s\n", dir_.c_str(),
+                 std::strerror(errno));
+    std::exit(1);
+  }
+  std::call_once(cleanup_once_, [this] { RemoveStaleTempFiles(dir_); });
+  // Cache key = name + target length + generator version: any of the
+  // three changing invalidates the cached file.
+  const std::string path = dir_ + "/" + name + "_" + std::to_string(target) +
+                           "_g" + std::to_string(kTraceGeneratorVersion) +
+                           ".trc";
+  if (auto loaded = LoadTrace(path, name)) {
+    entry.trace = std::make_unique<const Trace>(std::move(*loaded));
+    return;
+  }
+  Trace generated = MakeNamedTrace(name, target);
+  if (!SaveTrace(generated, path)) {
+    std::fprintf(stderr,
+                 "TraceCache: warning: could not cache trace to %s\n",
+                 path.c_str());
+  }
+  entry.trace = std::make_unique<const Trace>(std::move(generated));
+}
+
+}  // namespace clic::sweep

@@ -1,0 +1,65 @@
+// Process-wide trace cache with per-trace once-initialization.
+//
+// The figure benches and the sweep runner both replay the same eight
+// named traces; this cache generates (or disk-loads) each trace exactly
+// once per process and hands out shared immutable references. Locking
+// is per trace: concurrent Get() calls for the *same* name block until
+// one generation finishes, calls for *distinct* names generate in
+// parallel — a whole-trace generation is a multi-second job, so a
+// single global critical section would serialize the sweep thread pool.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/trace.h"
+
+namespace clic::sweep {
+
+/// Parses CLIC_BENCH_REQUESTS (cap on generated trace length). Garbage
+/// values are rejected loudly and fall back to the 2M default.
+std::uint64_t RequestCapFromEnv();
+
+/// CLIC_TRACE_CACHE_DIR, default "clic_trace_cache".
+std::string CacheDirFromEnv();
+
+class TraceCache {
+ public:
+  /// `dir` is created on first use; `request_cap` bounds every trace's
+  /// length (the cap is part of the on-disk cache key).
+  TraceCache(std::string dir, std::uint64_t request_cap);
+
+  /// Returns the named trace, generated once and cached on disk across
+  /// processes. Thread-safe (per-trace granularity, see file comment).
+  /// The reference stays valid for the cache's lifetime. Unknown names
+  /// and an unusable cache directory exit(1): silently replaying an
+  /// empty trace would report fake hit ratios.
+  const Trace& Get(const std::string& name);
+
+  const std::string& dir() const { return dir_; }
+  std::uint64_t request_cap() const { return request_cap_; }
+
+  /// The env-configured process-wide instance the benches share.
+  static TraceCache& Global();
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    std::unique_ptr<const Trace> trace;
+  };
+
+  void Fill(const std::string& name, Entry& entry);
+
+  std::string dir_;
+  std::uint64_t request_cap_;
+  std::once_flag cleanup_once_;  // stale-temp-file sweep, once per cache
+  std::mutex map_mutex_;  // guards the map structure only, never held
+                          // across generation
+  std::map<std::string, Entry> entries_;  // node-based: entry addresses
+                                          // are stable, never erased
+};
+
+}  // namespace clic::sweep

@@ -1,0 +1,245 @@
+#include "sweep/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trace.h"
+#include "sim/simulator.h"
+
+namespace clic::sweep {
+namespace {
+
+// Deterministic in-memory workload: two clients, two hint sets, a
+// skewed page pattern with ~20% writes. No disk, no generation cost.
+Trace MakeSynthetic(const std::string& name, std::uint32_t salt,
+                    std::size_t n) {
+  Trace trace;
+  trace.name = name;
+  const HintSetId h0 = trace.hints->Intern(HintVector{0, {1, 100 + salt}});
+  const HintSetId h1 = trace.hints->Intern(HintVector{1, {2, 200 + salt}});
+  trace.requests.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Request r;
+    // Mix of a hot set (mod 61) and a cold sweep (mod 509).
+    r.page = static_cast<PageId>(
+        i % 3 == 0 ? (i * 7919 + salt) % 61 : (i * 104729 + salt) % 509);
+    r.client = static_cast<ClientId>(i % 2);
+    r.hint_set = r.client == 0 ? h0 : h1;
+    if (i % 5 == 0) {
+      r.op = OpType::kWrite;
+      r.write_kind = i % 10 == 0 ? WriteKind::kRecovery
+                                 : WriteKind::kReplacement;
+    }
+    trace.requests.push_back(r);
+  }
+  return trace;
+}
+
+class FixtureProvider {
+ public:
+  FixtureProvider() {
+    traces_.emplace("synthA",
+                    std::make_unique<Trace>(MakeSynthetic("synthA", 3, 4000)));
+    traces_.emplace("synthB",
+                    std::make_unique<Trace>(MakeSynthetic("synthB", 17, 2500)));
+  }
+
+  SweepRunner::TraceProvider Get() {
+    return [this](const std::string& name) -> const Trace& {
+      return *traces_.at(name);
+    };
+  }
+
+  const Trace& Trace_(const std::string& name) const {
+    return *traces_.at(name);
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Trace>> traces_;
+};
+
+SweepSpec TestSpec() {
+  SweepSpec spec;
+  spec.traces = {"synthA", "synthB"};
+  spec.policies = {PolicyKind::kLru, PolicyKind::kArc, PolicyKind::kOpt,
+                   PolicyKind::kClic};
+  spec.cache_sizes = {32, 96};
+  spec.clic.window = 500;  // several windows complete within 2500 requests
+  spec.clic.outqueue_per_page = 2.0;
+  return spec;
+}
+
+void ExpectSameStats(const CacheStats& a, const CacheStats& b) {
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.read_hits, b.read_hits);
+  EXPECT_EQ(a.write_hits, b.write_hits);
+}
+
+void ExpectSameResult(const SimResult& a, const SimResult& b) {
+  ExpectSameStats(a.total, b.total);
+  ASSERT_EQ(a.per_client.size(), b.per_client.size());
+  for (const auto& [client, stats] : a.per_client) {
+    auto it = b.per_client.find(client);
+    ASSERT_NE(it, b.per_client.end());
+    ExpectSameStats(stats, it->second);
+  }
+}
+
+TEST(ExpandGridTest, FixedNestingOrderAndDenseIndices) {
+  SweepSpec spec;
+  spec.traces = {"t0", "t1"};
+  spec.policies = {PolicyKind::kLru, PolicyKind::kClic};
+  spec.cache_sizes = {10, 20, 30};
+  const std::vector<SweepPoint> points = ExpandGrid(spec);
+  ASSERT_EQ(points.size(), 12u);
+  std::size_t i = 0;
+  for (const std::string& trace : spec.traces) {
+    for (PolicyKind policy : spec.policies) {
+      for (std::size_t cache : spec.cache_sizes) {
+        EXPECT_EQ(points[i].index, i);
+        EXPECT_EQ(points[i].trace, trace);
+        EXPECT_EQ(points[i].policy, policy);
+        EXPECT_EQ(points[i].cache_pages, cache);
+        ++i;
+      }
+    }
+  }
+}
+
+TEST(FigureSpecTest, KnownFiguresHaveExpectedGridShapes) {
+  const auto fig6 = FigureSpec("6");
+  ASSERT_TRUE(fig6.has_value());
+  EXPECT_EQ(fig6->traces,
+            (std::vector<std::string>{"DB2_C60", "DB2_C300", "DB2_C540"}));
+  EXPECT_EQ(fig6->policies.size(), 5u);
+  EXPECT_EQ(fig6->cache_sizes,
+            (std::vector<std::size_t>{6'000, 12'000, 18'000, 24'000,
+                                      30'000}));
+  EXPECT_EQ(ExpandGrid(*fig6).size(), 75u);
+
+  const auto fig7 = FigureSpec("7");
+  ASSERT_TRUE(fig7.has_value());
+  EXPECT_EQ(ExpandGrid(*fig7).size(), 75u);
+
+  const auto fig8 = FigureSpec("8");
+  ASSERT_TRUE(fig8.has_value());
+  EXPECT_EQ(fig8->traces, (std::vector<std::string>{"MY_H65", "MY_H98"}));
+  EXPECT_EQ(ExpandGrid(*fig8).size(), 30u);
+
+  const auto ablation = FigureSpec("ablation");
+  ASSERT_TRUE(ablation.has_value());
+  EXPECT_EQ(ablation->policies.size(), 7u);
+  EXPECT_EQ(ExpandGrid(*ablation).size(), 7u);
+
+  EXPECT_FALSE(FigureSpec("9").has_value());
+  EXPECT_FALSE(FigureSpec("").has_value());
+}
+
+TEST(SweepRunnerTest, MatchesSequentialSimulateOnEveryPoint) {
+  FixtureProvider fixture;
+  const SweepSpec spec = TestSpec();
+  SweepRunner runner(fixture.Get(), 4);
+  const std::vector<SweepRow> rows = runner.Run(spec);
+  const std::vector<SweepPoint> points = ExpandGrid(spec);
+  ASSERT_EQ(rows.size(), points.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    SCOPED_TRACE("point " + std::to_string(i) + " " + points[i].trace + "/" +
+                 PolicyName(points[i].policy) + "/" +
+                 std::to_string(points[i].cache_pages));
+    EXPECT_EQ(rows[i].point.trace, points[i].trace);
+    EXPECT_EQ(rows[i].point.policy, points[i].policy);
+    EXPECT_EQ(rows[i].point.cache_pages, points[i].cache_pages);
+    const Trace& trace = fixture.Trace_(points[i].trace);
+    const auto policy =
+        MakePolicy(points[i].policy, points[i].cache_pages, &trace, spec.clic);
+    const SimResult expected = Simulate(trace, *policy);
+    ExpectSameResult(rows[i].result, expected);
+    EXPECT_GE(rows[i].wall_seconds, 0.0);
+  }
+}
+
+TEST(SweepRunnerTest, RowOrderAndValuesStableAcrossThreadCounts) {
+  FixtureProvider fixture;
+  const SweepSpec spec = TestSpec();
+  const std::vector<SweepRow> baseline =
+      SweepRunner(fixture.Get(), 1).Run(spec);
+  for (unsigned threads : {2u, 5u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const std::vector<SweepRow> rows =
+        SweepRunner(fixture.Get(), threads).Run(spec);
+    ASSERT_EQ(rows.size(), baseline.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(rows[i].point.index, baseline[i].point.index);
+      EXPECT_EQ(rows[i].point.trace, baseline[i].point.trace);
+      EXPECT_EQ(rows[i].point.policy, baseline[i].point.policy);
+      EXPECT_EQ(rows[i].point.cache_pages, baseline[i].point.cache_pages);
+      ExpectSameResult(rows[i].result, baseline[i].result);
+    }
+  }
+}
+
+TEST(SweepRunnerTest, ProviderExceptionPropagatesAtAnyThreadCount) {
+  FixtureProvider fixture;
+  SweepSpec spec = TestSpec();
+  spec.traces.push_back("no-such-trace");  // FixtureProvider map::at throws
+  for (unsigned threads : {1u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_THROW(SweepRunner(fixture.Get(), threads).Run(spec),
+                 std::out_of_range);
+  }
+}
+
+TEST(SweepRunnerTest, EmptyGridYieldsNoRows) {
+  FixtureProvider fixture;
+  SweepSpec spec;  // no traces/policies/caches
+  EXPECT_TRUE(SweepRunner(fixture.Get(), 4).Run(spec).empty());
+}
+
+TEST(SweepFormatTest, CsvRowMatchesHeaderShape) {
+  SweepRow row;
+  row.point.trace = "synthA";
+  row.point.policy = PolicyKind::kClic;
+  row.point.cache_pages = 96;
+  row.result.total = {/*reads=*/100, /*writes=*/40, /*read_hits=*/40,
+                      /*write_hits=*/10};
+  row.result.per_client[0] = {60, 30, 0, 8};
+  row.result.per_client[1] = {40, 10, 0, 2};
+  row.wall_seconds = 0.125;
+
+  const std::string header = CsvHeader();
+  const std::string line = CsvRow(row);
+  auto count_commas = [](const std::string& s) {
+    std::size_t n = 0;
+    for (char c : s) n += c == ',';
+    return n;
+  };
+  EXPECT_EQ(count_commas(header), count_commas(line));
+  EXPECT_EQ(line.rfind("synthA,CLIC,96,140,100,40,40,10,", 0), 0u)
+      << line;
+  EXPECT_NE(line.find("0=60:0:30:8;1=40:0:10:2"), std::string::npos) << line;
+}
+
+TEST(SweepFormatTest, JsonRowCarriesAllFields) {
+  SweepRow row;
+  row.point.trace = "synthB";
+  row.point.policy = PolicyKind::kLru;
+  row.point.cache_pages = 32;
+  row.result.total = {10, 5, 4, 1};
+  row.result.per_client[3] = {10, 4, 5, 1};
+  const std::string json = JsonRow(row);
+  for (const char* key :
+       {"\"trace\":\"synthB\"", "\"policy\":\"LRU\"", "\"cache_pages\":32",
+        "\"requests\":15", "\"reads\":10", "\"writes\":5", "\"read_hits\":4",
+        "\"write_hits\":1", "\"read_hit_ratio\":", "\"write_hit_ratio\":",
+        "\"wall_seconds\":", "\"per_client\":{\"3\":{\"reads\":10"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+}  // namespace
+}  // namespace clic::sweep

@@ -1,0 +1,137 @@
+#include "sweep/trace_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+#include <utime.h>
+
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "workload/trace_factory.h"
+
+namespace clic::sweep {
+namespace {
+
+constexpr std::uint64_t kCap = 1500;  // keep generation sub-second
+
+std::string FreshDir(const std::string& tag) {
+  // Distinct directory per (test, process) so caches never observe each
+  // other's files — also across repeated runs from different build
+  // trees; the cache itself creates the directory.
+  return ::testing::TempDir() + "clic_trace_cache_test_" + tag + "_" +
+         std::to_string(::getpid());
+}
+
+TEST(TraceCacheTest, ConcurrentGetOfSameTraceYieldsOneInstance) {
+  TraceCache cache(FreshDir("same"), kCap);
+  constexpr int kThreads = 8;
+  std::vector<const Trace*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &seen, t] {
+      seen[t] = &cache.Get("DB2_C60");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_NE(seen[t], nullptr);
+    EXPECT_EQ(seen[t], seen[0]) << "thread " << t << " got a different copy";
+  }
+  EXPECT_EQ(seen[0]->name, "DB2_C60");
+  EXPECT_LE(seen[0]->size(), kCap);
+  EXPECT_GT(seen[0]->size(), 0u);
+}
+
+TEST(TraceCacheTest, ConcurrentGetOfDistinctTracesIsCorrect) {
+  TraceCache cache(FreshDir("distinct"), kCap);
+  const std::vector<std::string> names = {"DB2_C60", "DB2_C300", "MY_H65",
+                                          "MY_H98"};
+  std::vector<const Trace*> seen(names.size(), nullptr);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    threads.emplace_back([&cache, &names, &seen, i] {
+      seen[i] = &cache.Get(names[i]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    ASSERT_NE(seen[i], nullptr);
+    EXPECT_EQ(seen[i]->name, names[i]);
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_NE(seen[i], seen[j]);
+    }
+  }
+}
+
+TEST(TraceCacheTest, RepeatGetReturnsSameReferenceWithoutRegeneration) {
+  TraceCache cache(FreshDir("repeat"), kCap);
+  const Trace& first = cache.Get("DB2_H80");
+  const Trace& second = cache.Get("DB2_H80");
+  EXPECT_EQ(&first, &second);
+}
+
+TEST(TraceCacheTest, SecondCacheInstanceLoadsIdenticalTraceFromDisk) {
+  const std::string dir = FreshDir("disk");
+  TraceCache writer(dir, kCap);
+  const Trace& generated = writer.Get("MY_H65");
+
+  // The on-disk file exists under the versioned cache name.
+  const std::string path = dir + "/MY_H65_" + std::to_string(kCap) + "_g" +
+                           std::to_string(kTraceGeneratorVersion) + ".trc";
+  struct stat st{};
+  ASSERT_EQ(::stat(path.c_str(), &st), 0) << path;
+  EXPECT_GT(st.st_size, 0);
+
+  TraceCache reader(dir, kCap);
+  const Trace& loaded = reader.Get("MY_H65");
+  ASSERT_EQ(loaded.size(), generated.size());
+  ASSERT_EQ(loaded.hints->size(), generated.hints->size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded.requests[i].page, generated.requests[i].page);
+    EXPECT_EQ(loaded.requests[i].hint_set, generated.requests[i].hint_set);
+    EXPECT_EQ(loaded.requests[i].client, generated.requests[i].client);
+    EXPECT_EQ(loaded.requests[i].op, generated.requests[i].op);
+    EXPECT_EQ(loaded.requests[i].write_kind, generated.requests[i].write_kind);
+  }
+}
+
+TEST(TraceCacheTest, CollectsStaleTempFilesButSparesFreshOnes) {
+  const std::string dir = FreshDir("tmpclean");
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  auto touch = [&](const std::string& name) {
+    std::FILE* f = std::fopen((dir + "/" + name).c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("orphan", f);
+    std::fclose(f);
+  };
+  touch("DB2_C60_1500_g1.trc.tmp.123.0");  // crashed saver, hours old
+  touch("MY_H65_1500_g1.trc.tmp.456.2");   // in-flight saver, fresh
+  const std::time_t two_hours_ago = std::time(nullptr) - 7200;
+  const struct utimbuf old_times = {two_hours_ago, two_hours_ago};
+  ASSERT_EQ(
+      ::utime((dir + "/DB2_C60_1500_g1.trc.tmp.123.0").c_str(), &old_times),
+      0);
+
+  TraceCache cache(dir, kCap);
+  cache.Get("DB2_C60");  // first Fill triggers the cleanup sweep
+
+  struct stat st{};
+  EXPECT_NE(::stat((dir + "/DB2_C60_1500_g1.trc.tmp.123.0").c_str(), &st), 0)
+      << "stale temp file should have been collected";
+  EXPECT_EQ(::stat((dir + "/MY_H65_1500_g1.trc.tmp.456.2").c_str(), &st), 0)
+      << "fresh temp file must not be disturbed";
+}
+
+TEST(TraceCacheDeathTest, UnknownTraceNameExits) {
+  TraceCache cache(FreshDir("unknown"), kCap);
+  EXPECT_EXIT(cache.Get("NO_SUCH_TRACE"), ::testing::ExitedWithCode(1),
+              "unknown trace");
+}
+
+}  // namespace
+}  // namespace clic::sweep

@@ -27,10 +27,30 @@ TEST(InjectNoiseHintsTest, ZeroTypesIsIdentity) {
   const Trace base = TwoHintTrace("base", 0);
   const Trace noisy = InjectNoiseHints(base, 0, 10, 1.0, 99);
   ASSERT_EQ(noisy.requests.size(), base.requests.size());
-  EXPECT_EQ(noisy.hints.get(), base.hints.get());  // registry is shared
+  // Deep copy, not an alias: same contents, distinct registry object.
+  EXPECT_NE(noisy.hints.get(), base.hints.get());
+  ASSERT_EQ(noisy.hints->size(), base.hints->size());
   for (std::size_t i = 0; i < base.requests.size(); ++i) {
     EXPECT_EQ(noisy.requests[i].hint_set, base.requests[i].hint_set);
+    EXPECT_EQ(noisy.hints->Get(noisy.requests[i].hint_set),
+              base.hints->Get(base.requests[i].hint_set));
   }
+}
+
+// Regression: with num_types <= 0 the result used to share the source
+// trace's HintRegistry, so interning through one trace mutated the
+// other. The registries must be independent.
+TEST(InjectNoiseHintsTest, ZeroTypesDoesNotAliasRegistry) {
+  const Trace base = TwoHintTrace("base", 0);
+  const std::size_t base_sets = base.hints->size();
+  Trace noisy = InjectNoiseHints(base, 0, 10, 1.0, 99);
+  const HintSetId added = noisy.hints->Intern(HintVector{7, {42, 43}});
+  EXPECT_EQ(added, base_sets);  // appended to the copy...
+  EXPECT_EQ(noisy.hints->size(), base_sets + 1);
+  EXPECT_EQ(base.hints->size(), base_sets);  // ...not to the source
+  // And vice versa: interning through the source leaves the copy alone.
+  base.hints->Intern(HintVector{9, {77}});
+  EXPECT_EQ(noisy.hints->size(), base_sets + 1);
 }
 
 TEST(InjectNoiseHintsTest, AppendsAttributesAndMultipliesHintSets) {
