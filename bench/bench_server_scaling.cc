@@ -1,0 +1,72 @@
+// Server scaling: throughput of the online sharded cache server as the
+// shard count and client count grow. The per-shard locking plus batched
+// ingestion should scale request throughput with shards until the
+// machine runs out of cores; this driver pins the numbers down
+// (bench/README.md records the baselines).
+//
+//   bench_server_scaling [--benchmark_filter=ServerScaling/LRU/.*]
+//
+// Counter `requests_per_sec` is the headline; `p99_us` tracks tail
+// batch latency so a throughput win can't silently buy unbounded
+// queueing delay.
+#include <string>
+
+#include "bench_util.h"
+#include "server/cache_server.h"
+
+namespace clic::bench {
+namespace {
+
+void ServerScaling(benchmark::State& state, PolicyKind kind) {
+  const std::size_t shards = static_cast<std::size_t>(state.range(0));
+  const std::size_t clients = static_cast<std::size_t>(state.range(1));
+  const Trace& trace = GetTrace("DB2_C60");
+
+  server::ServerOptions options;
+  options.shards = shards;
+  options.cache_pages = 12'000;
+  options.policy = kind;
+  options.clic = PaperClicOptions();
+
+  server::LoadOptions load;
+  load.clients = clients;
+  load.batch_size = 256;
+
+  server::ServeResult result;
+  for (auto _ : state) {
+    result = server::ServeTrace(trace, options, load);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(result.requests) *
+                          static_cast<std::int64_t>(state.iterations()));
+  state.counters["requests_per_sec"] = benchmark::Counter(
+      static_cast<double>(result.requests) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["p50_us"] = result.p50_us;
+  state.counters["p99_us"] = result.p99_us;
+  state.counters["read_hit_ratio"] = result.total.ReadHitRatio();
+}
+
+void RegisterServerScaling() {
+  for (PolicyKind kind : {PolicyKind::kLru, PolicyKind::kClic}) {
+    for (long shards : {1L, 2L, 4L, 8L}) {
+      for (long clients : {1L, 4L}) {
+        const std::string name = std::string("ServerScaling/") +
+                                 PolicyName(kind) + "/shards:" +
+                                 std::to_string(shards) + "/clients:" +
+                                 std::to_string(clients);
+        benchmark::RegisterBenchmark(name.c_str(),
+                                     [kind](benchmark::State& s) {
+                                       ServerScaling(s, kind);
+                                     })
+            ->Args({shards, clients})
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+const int registered = (RegisterServerScaling(), 0);
+
+}  // namespace
+}  // namespace clic::bench

@@ -3,7 +3,7 @@
 // Traces are generated at the DESIGN.md scaled lengths (capped by the
 // CLIC_BENCH_REQUESTS environment variable if set) and cached on disk
 // under CLIC_TRACE_CACHE_DIR (default: ./clic_trace_cache) through the
-// process-wide sweep::TraceCache, so the fourteen bench binaries and
+// process-wide sweep::TraceCache, so the fifteen bench binaries and
 // clic_sweep never regenerate the same workloads.
 #pragma once
 

@@ -1,0 +1,113 @@
+// Shared command-line parsing for the clic_* binaries (clic_sweep,
+// clic_serve). The contract every flag parser here enforces: an
+// unknown or malformed token fails fast with the offending token AND
+// the valid alternatives printed to stderr, exit code 2 — never a
+// silent skip, and never an abort deep inside trace resolution.
+#pragma once
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/policy_factory.h"
+#include "workload/trace_factory.h"
+
+namespace clic::cli {
+
+[[noreturn]] inline void Die(const char* prog, const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", prog, message.c_str());
+  std::fprintf(stderr, "Run %s --help for usage.\n", prog);
+  std::exit(2);
+}
+
+inline std::string KnownTraceNames() {
+  std::string out;
+  for (const NamedTraceInfo& info : NamedTraces()) {
+    if (!out.empty()) out.append(", ");
+    out.append(info.name);
+  }
+  return out;
+}
+
+inline std::string KnownPolicyNames() {
+  std::string out;
+  for (PolicyKind kind : AllPolicies()) {
+    if (!out.empty()) out.append(", ");
+    out.append(PolicyName(kind));
+  }
+  return out;
+}
+
+/// Splits a comma-separated flag value. An empty token ("A,,B", a
+/// leading/trailing comma, or an empty value) is an error, not a skip:
+/// it is always a typo and silently dropping it would run a different
+/// grid than the one the user asked for.
+inline std::vector<std::string> SplitCsvFlag(const char* prog,
+                                             const std::string& flag,
+                                             const std::string& value) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = value.find(',', start);
+    const std::size_t end = comma == std::string::npos ? value.size() : comma;
+    if (end == start) {
+      Die(prog, flag + "='" + value + "' contains an empty token");
+    }
+    parts.push_back(value.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+inline std::uint64_t ParseU64(const char* prog, const std::string& flag,
+                              const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end == value.c_str() || *end != '\0' || parsed == 0) {
+    Die(prog, flag + "='" + value + "' is not a positive integer");
+  }
+  return parsed;
+}
+
+inline double ParseDouble(const char* prog, const std::string& flag,
+                          const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end == value.c_str() || *end != '\0' ||
+      !std::isfinite(parsed) || parsed < 0.0) {
+    Die(prog, flag + "='" + value + "' is not a finite non-negative number");
+  }
+  return parsed;
+}
+
+/// Validates a trace name against NamedTraces(); unknown names die with
+/// the valid set.
+inline void RequireKnownTrace(const char* prog, const std::string& flag,
+                              const std::string& name) {
+  for (const NamedTraceInfo& info : NamedTraces()) {
+    if (info.name == name) return;
+  }
+  Die(prog, flag + ": unknown trace '" + name + "' (valid traces: " +
+                KnownTraceNames() + ")");
+}
+
+/// Parses one policy token; unknown names die with the valid set.
+inline PolicyKind RequirePolicy(const char* prog, const std::string& flag,
+                                const std::string& name) {
+  const std::optional<PolicyKind> kind = ParsePolicyKind(name);
+  if (!kind) {
+    Die(prog, flag + ": unknown policy '" + name + "' (valid policies: " +
+                  KnownPolicyNames() + ")");
+  }
+  return *kind;
+}
+
+}  // namespace clic::cli

@@ -13,6 +13,16 @@ namespace clic {
 /// repo) allocate nothing on the heap. `seq` is the 0-based index of the
 /// request in the trace; Simulate() guarantees it increases by exactly 1
 /// per call, which OPT relies on for its next-use oracle.
+///
+/// Thread ownership: a Policy instance is NOT thread-safe and has no
+/// internal locking. Exactly one thread may be inside Access() at a
+/// time, and implementations may assume their state is never observed
+/// concurrently. The simulator satisfies this trivially (one thread per
+/// policy); the sweep runner builds one private policy per grid point;
+/// the online server (server/cache_server.h) gives each shard its own
+/// policy and serializes every Access() behind that shard's mutex,
+/// asserting the single-entry discipline in debug builds. Any new
+/// caller must provide the same external serialization.
 class Policy {
  public:
   virtual ~Policy() = default;

@@ -1,0 +1,408 @@
+#include "server/cache_server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/fnv1a.h"
+
+namespace clic::server {
+
+std::size_t ShardOf(PageId page, std::size_t shards) {
+  if (shards <= 1) return 0;
+  Fnv1a h;
+  h.MixScalar(page);
+  return static_cast<std::size_t>(h.value() % shards);
+}
+
+std::size_t ShardCachePages(std::size_t total_pages, std::size_t shards) {
+  return std::max<std::size_t>(1, total_pages / std::max<std::size_t>(1, shards));
+}
+
+std::vector<Trace> PartitionByShard(const Trace& trace, std::size_t shards) {
+  std::vector<Trace> parts(std::max<std::size_t>(1, shards));
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    parts[s].name = trace.name + "#shard" + std::to_string(s);
+    parts[s].hints = std::make_shared<HintRegistry>(*trace.hints);
+  }
+  for (const Request& r : trace.requests) {
+    parts[ShardOf(r.page, parts.size())].requests.push_back(r);
+  }
+  return parts;
+}
+
+SimResult PartitionedSimulate(const Trace& trace, const ServerOptions& options,
+                              std::uint64_t request_budget) {
+  Trace capped;
+  capped.name = trace.name;
+  // Read-only below (PartitionByShard deep-copies per part), so the
+  // alias never shares mutable interning state with a writer.
+  capped.hints = trace.hints;
+  const std::uint64_t n =
+      request_budget > 0 ? std::min<std::uint64_t>(trace.size(), request_budget)
+                         : trace.size();
+  capped.requests.assign(trace.requests.begin(),
+                         trace.requests.begin() + static_cast<long>(n));
+  const std::vector<Trace> parts = PartitionByShard(capped, options.shards);
+  const std::size_t pages =
+      ShardCachePages(options.cache_pages, options.shards);
+  SimResult merged;
+  for (const Trace& part : parts) {
+    const auto policy =
+        MakePolicy(options.policy, pages, /*trace=*/nullptr, options.clic);
+    const SimResult shard = Simulate(part, *policy);
+    merged.total += shard.total;
+    for (const auto& [client, stats] : shard.per_client) {
+      merged.per_client[client] += stats;
+    }
+  }
+  return merged;
+}
+
+CacheServer::CacheServer(const ServerOptions& options, std::size_t num_clients)
+    : pages_per_shard_(ShardCachePages(options.cache_pages, options.shards)),
+      deterministic_(options.deterministic) {
+  if (options.shards == 0) {
+    throw std::invalid_argument("CacheServer: shards must be >= 1");
+  }
+  if (num_clients == 0) {
+    throw std::invalid_argument("CacheServer: need at least one client");
+  }
+  if (options.policy == PolicyKind::kOpt) {
+    throw std::invalid_argument(
+        "CacheServer: OPT is clairvoyant and cannot serve an online "
+        "request stream");
+  }
+  shards_.reserve(options.shards);
+  for (std::size_t s = 0; s < options.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->policy = MakePolicy(options.policy, pages_per_shard_,
+                               /*trace=*/nullptr, options.clic);
+    shards_.push_back(std::move(shard));
+  }
+  queues_.reserve(num_clients);
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    queues_.push_back(std::make_unique<ClientQueue>());
+  }
+  const unsigned workers =
+      deterministic_
+          ? 1u
+          : std::max(1u, std::min<unsigned>(
+                             static_cast<unsigned>(num_clients),
+                             options.max_consumers > 0
+                                 ? options.max_consumers
+                                 : std::max(
+                                       1u,
+                                       std::thread::hardware_concurrency())));
+  scratch_.resize(workers);
+  for (auto& buckets : scratch_) buckets.resize(shards_.size());
+  // Everything above must be in place before the first consumer runs.
+  consumers_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    if (deterministic_) {
+      consumers_.emplace_back([this] { ConsumeInClientOrder(); });
+    } else {
+      consumers_.emplace_back([this, w] { ConsumeRoundRobin(w); });
+    }
+  }
+}
+
+CacheServer::~CacheServer() { Shutdown(); }
+
+void CacheServer::Submit(std::size_t client, const Request* requests,
+                         std::size_t n) {
+  if (n == 0) return;
+  Batch batch;
+  batch.requests = requests;
+  batch.n = n;
+  ClientQueue& q = *queues_.at(client);
+  {
+    std::lock_guard<std::mutex> lock(q.mu);
+    q.pending.push_back(&batch);
+  }
+  q.arrival.notify_all();
+  std::unique_lock<std::mutex> lock(q.mu);
+  q.applied.wait(lock, [&batch] { return batch.applied; });
+}
+
+void CacheServer::Finish(std::size_t client) {
+  ClientQueue& q = *queues_.at(client);
+  {
+    std::lock_guard<std::mutex> lock(q.mu);
+    q.eos = true;
+  }
+  q.arrival.notify_all();
+}
+
+void CacheServer::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  for (std::thread& t : consumers_) t.join();
+}
+
+void CacheServer::ApplyBatch(std::size_t consumer_index, const Batch& batch) {
+  auto apply_range = [this](Shard& shard, const Request* reqs,
+                            const std::uint32_t* idx, std::size_t count) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+#ifndef NDEBUG
+    assert(!shard.entered && "two consumers inside one shard's policy");
+    shard.entered = true;
+#endif
+    for (std::size_t i = 0; i < count; ++i) {
+      const Request& r = idx ? reqs[idx[i]] : reqs[i];
+      const bool hit = shard.policy->Access(r, shard.seq++);
+      if (r.client >= shard.client_stats.size()) {
+        shard.client_stats.resize(static_cast<std::size_t>(r.client) + 1);
+      }
+      shard.client_stats[r.client].Record(r, hit);
+      ++shard.requests;
+    }
+#ifndef NDEBUG
+    shard.entered = false;
+#endif
+  };
+
+  if (shards_.size() == 1) {
+    apply_range(*shards_[0], batch.requests, nullptr, batch.n);
+  } else {
+    auto& buckets = scratch_[consumer_index];
+    for (auto& b : buckets) b.clear();
+    for (std::size_t i = 0; i < batch.n; ++i) {
+      buckets[ShardOf(batch.requests[i].page, shards_.size())].push_back(
+          static_cast<std::uint32_t>(i));
+    }
+    for (std::size_t s = 0; s < buckets.size(); ++s) {
+      if (buckets[s].empty()) continue;
+      apply_range(*shards_[s], batch.requests, buckets[s].data(),
+                  buckets[s].size());
+    }
+  }
+  batches_applied_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CacheServer::ConsumeRoundRobin(std::size_t consumer_index) {
+  const std::size_t workers = scratch_.size();
+  std::vector<std::size_t> mine;
+  for (std::size_t c = consumer_index; c < queues_.size(); c += workers) {
+    mine.push_back(c);
+  }
+  std::vector<bool> drained(mine.size(), false);
+  std::size_t remaining = mine.size();
+  while (remaining > 0) {
+    bool progress = false;
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      if (drained[i]) continue;
+      ClientQueue& q = *queues_[mine[i]];
+      Batch* batch = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(q.mu);
+        if (!q.pending.empty()) {
+          batch = q.pending.front();
+          q.pending.pop_front();
+        } else if (q.eos) {
+          drained[i] = true;
+          --remaining;
+          continue;
+        }
+      }
+      if (batch != nullptr) {
+        ApplyBatch(consumer_index, *batch);
+        {
+          std::lock_guard<std::mutex> lock(q.mu);
+          batch->applied = true;
+        }
+        q.applied.notify_all();
+        progress = true;
+      }
+    }
+    if (!progress && remaining > 0) {
+      // All live queues momentarily empty: nap on the first one. The
+      // timeout keeps this a polling loop across *several* queues while
+      // still reacting within a millisecond to a quiet period ending.
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        if (drained[i]) continue;
+        ClientQueue& q = *queues_[mine[i]];
+        std::unique_lock<std::mutex> lock(q.mu);
+        q.arrival.wait_for(lock, std::chrono::milliseconds(1), [&q] {
+          return !q.pending.empty() || q.eos;
+        });
+        break;
+      }
+    }
+  }
+}
+
+void CacheServer::ConsumeInClientOrder() {
+  // Strict client order: the per-shard request sequence is then the
+  // shard-filtered concatenation of client streams, which is what the
+  // determinism guarantee (see header) promises.
+  for (std::size_t c = 0; c < queues_.size(); ++c) {
+    ClientQueue& q = *queues_[c];
+    for (;;) {
+      Batch* batch = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(q.mu);
+        q.arrival.wait(lock, [&q] { return !q.pending.empty() || q.eos; });
+        if (!q.pending.empty()) {
+          batch = q.pending.front();
+          q.pending.pop_front();
+        } else {
+          break;  // eos and empty: this client's stream is complete
+        }
+      }
+      ApplyBatch(0, *batch);
+      {
+        std::lock_guard<std::mutex> lock(q.mu);
+        batch->applied = true;
+      }
+      q.applied.notify_all();
+    }
+  }
+}
+
+CacheStats CacheServer::TotalStats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    for (const CacheStats& c : shard->client_stats) total += c;
+  }
+  return total;
+}
+
+std::map<ClientId, CacheStats> CacheServer::PerClientStats() const {
+  std::map<ClientId, CacheStats> merged;
+  for (const auto& shard : shards_) {
+    for (std::size_t c = 0; c < shard->client_stats.size(); ++c) {
+      const CacheStats& stats = shard->client_stats[c];
+      if (stats.reads + stats.writes == 0) continue;
+      merged[static_cast<ClientId>(c)] += stats;
+    }
+  }
+  return merged;
+}
+
+std::vector<CacheStats> CacheServer::PerShardStats() const {
+  std::vector<CacheStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    CacheStats total;
+    for (const CacheStats& c : shard->client_stats) total += c;
+    out.push_back(total);
+  }
+  return out;
+}
+
+std::uint64_t CacheServer::requests_applied() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->requests;
+  return total;
+}
+
+std::uint64_t CacheServer::batches_applied() const {
+  return batches_applied_.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+double PercentileUs(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(sorted_us.size() - 1),
+                       q * static_cast<double>(sorted_us.size() - 1)));
+  return sorted_us[rank];
+}
+
+}  // namespace
+
+ServeResult ServeTrace(const Trace& trace, const ServerOptions& options,
+                       const LoadOptions& load) {
+  if (load.clients == 0) {
+    throw std::invalid_argument("ServeTrace: need at least one client");
+  }
+  if (load.batch_size == 0) {
+    throw std::invalid_argument("ServeTrace: batch_size must be >= 1");
+  }
+  if (options.deterministic && load.duration_seconds > 0.0) {
+    throw std::invalid_argument(
+        "ServeTrace: duration mode replays chunks in wall-clock order and "
+        "cannot be deterministic");
+  }
+  std::uint64_t n = trace.size();
+  if (load.request_budget > 0) n = std::min<std::uint64_t>(n, load.request_budget);
+
+  CacheServer server(options, load.clients);
+  const std::size_t clients = load.clients;
+  std::vector<std::vector<double>> latencies_us(clients);
+  std::vector<ClientLoadStats> driver_stats(clients);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> drivers;
+  drivers.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    drivers.emplace_back([&, c] {
+      // Contiguous chunk so client streams concatenate to the capped
+      // trace (the determinism rule depends on this layout).
+      const std::uint64_t begin = n * c / clients;
+      const std::uint64_t end = n * (c + 1) / clients;
+      std::vector<double>& lat = latencies_us[c];
+      ClientLoadStats& stats = driver_stats[c];
+      const bool timed = load.duration_seconds > 0.0;
+      bool first_pass = true;
+      bool out_of_time = false;
+      do {
+        for (std::uint64_t pos = begin; pos < end; pos += load.batch_size) {
+          // The first pass always completes — every request is applied
+          // at least once — so the deadline only cuts later passes.
+          if (out_of_time && !first_pass) break;
+          const std::size_t count = static_cast<std::size_t>(
+              std::min<std::uint64_t>(load.batch_size, end - pos));
+          const auto t0 = std::chrono::steady_clock::now();
+          server.Submit(c, trace.requests.data() + pos, count);
+          const std::chrono::duration<double, std::micro> took =
+              std::chrono::steady_clock::now() - t0;
+          lat.push_back(took.count());
+          stats.requests += count;
+          ++stats.batches;
+          if (timed) {
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - wall_start;
+            out_of_time = elapsed.count() >= load.duration_seconds;
+          }
+        }
+        first_pass = false;
+      } while (timed && !out_of_time && begin < end);
+      server.Finish(c);
+    });
+  }
+  for (std::thread& t : drivers) t.join();
+  server.Shutdown();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+
+  ServeResult result;
+  result.total = server.TotalStats();
+  result.per_client = server.PerClientStats();
+  result.per_shard = server.PerShardStats();
+  result.requests = server.requests_applied();
+  result.batches = server.batches_applied();
+  result.wall_seconds = wall.count();
+  result.throughput_rps =
+      wall.count() > 0 ? static_cast<double>(result.requests) / wall.count()
+                       : 0.0;
+  std::vector<double> all_us;
+  for (std::size_t c = 0; c < clients; ++c) {
+    std::vector<double>& lat = latencies_us[c];
+    std::sort(lat.begin(), lat.end());
+    driver_stats[c].p50_us = PercentileUs(lat, 0.50);
+    driver_stats[c].p99_us = PercentileUs(lat, 0.99);
+    all_us.insert(all_us.end(), lat.begin(), lat.end());
+  }
+  std::sort(all_us.begin(), all_us.end());
+  result.p50_us = PercentileUs(all_us, 0.50);
+  result.p99_us = PercentileUs(all_us, 0.99);
+  result.per_driver = std::move(driver_stats);
+  return result;
+}
+
+}  // namespace clic::server

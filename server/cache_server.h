@@ -1,0 +1,217 @@
+// Online sharded cache server: the serving layer the paper's storage
+// server implies. Pages are hash-partitioned across S shards; each
+// shard owns one Policy instance (any PolicyKind except OPT, whose
+// clairvoyant oracle has no online meaning) behind a per-shard mutex.
+// Clients submit *batches* of requests through per-client MPSC queues;
+// consumer threads drain whole batches and apply each batch's per-shard
+// slice under a single shard-lock acquisition, so the lock cost is
+// amortized over the batch instead of paid per request.
+//
+// Determinism rule: with `deterministic == true` the server runs exactly
+// one consumer thread that drains client queues in strict client order
+// (all of client 0's stream, then client 1's, ...). Each shard therefore
+// sees exactly the subsequence of the concatenated client streams whose
+// pages hash to it, in stream order, with a per-shard seq counter equal
+// to the request's index within that subsequence — which is precisely
+// what a sequential Simulate() of the shard's partition observes. So the
+// aggregate (and per-client) hit counts of a deterministic run are
+// bit-identical to per-shard sequential Simulate() of the partitioned
+// trace; ServeTrace arranges client chunks so their concatenation is the
+// original trace.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/clic.h"
+#include "sim/policy_factory.h"
+#include "sim/simulator.h"
+
+namespace clic::server {
+
+/// Shard assignment for a page. FNV-1a over the page id so adjacent
+/// pages spread across shards; every component that partitions (the
+/// server, PartitionByShard, the determinism test) must use this one
+/// function.
+std::size_t ShardOf(PageId page, std::size_t shards);
+
+/// Per-shard cache capacity for a total budget of `total_pages` split
+/// across `shards` shards (each shard gets at least one page).
+std::size_t ShardCachePages(std::size_t total_pages, std::size_t shards);
+
+/// Splits `trace` into `shards` sub-traces by ShardOf(page), preserving
+/// request order within each shard. Hint registries are deep copies (the
+/// ids are unchanged), honouring the no-shared-mutable-registry rule.
+std::vector<Trace> PartitionByShard(const Trace& trace, std::size_t shards);
+
+struct ServerOptions;  // below
+
+/// Per-shard sequential Simulate() of the (budget-capped) partitioned
+/// trace, merged across shards: the ground truth the deterministic
+/// server mode reproduces bit-exactly. The single implementation both
+/// `clic_serve --verify` and the determinism tests compare against, so
+/// the two checks can never drift apart. `request_budget` 0 means the
+/// whole trace.
+SimResult PartitionedSimulate(const Trace& trace, const ServerOptions& options,
+                              std::uint64_t request_budget = 0);
+
+struct ServerOptions {
+  std::size_t shards = 1;
+  /// Total cache budget in pages, split evenly across shards.
+  std::size_t cache_pages = 0;
+  PolicyKind policy = PolicyKind::kLru;
+  ClicOptions clic;  // applied when policy == kClic
+  /// Single consumer draining clients in strict id order (see file
+  /// comment). Off: one consumer per min(clients, hardware) cores,
+  /// clients round-robined across consumers.
+  bool deterministic = false;
+  /// Consumer thread cap for the non-deterministic mode; 0 = choose
+  /// from hardware concurrency.
+  unsigned max_consumers = 0;
+};
+
+/// A multi-tenant sharded cache server. Usage:
+///   CacheServer server(options, num_clients);
+///   ... client threads call Submit(client, batch...) repeatedly,
+///       then Finish(client) exactly once ...
+///   server.Shutdown();   // joins consumers; stats become readable
+/// Submit blocks until the batch has been applied (closed loop).
+class CacheServer {
+ public:
+  /// Builds shards and starts consumer threads. Throws
+  /// std::invalid_argument for unusable options (zero shards/clients,
+  /// OPT policy).
+  CacheServer(const ServerOptions& options, std::size_t num_clients);
+  ~CacheServer();
+
+  CacheServer(const CacheServer&) = delete;
+  CacheServer& operator=(const CacheServer&) = delete;
+
+  /// Enqueues one batch for `client` and blocks until every request in
+  /// it has been applied to its shard. Safe to call from many client
+  /// threads concurrently (one in flight per client at a time keeps the
+  /// closed-loop semantics; the queue itself accepts any producer).
+  void Submit(std::size_t client, const Request* requests, std::size_t n);
+
+  /// Marks `client`'s stream complete. Every client must be finished
+  /// before Shutdown() returns.
+  void Finish(std::size_t client);
+
+  /// Waits for all queues to drain and joins the consumer threads.
+  /// Idempotent; called by the destructor if needed.
+  void Shutdown();
+
+  // Stats. Exact (every applied request is counted under its shard
+  // lock); call after Shutdown() for a quiescent snapshot.
+  CacheStats TotalStats() const;
+  std::map<ClientId, CacheStats> PerClientStats() const;
+  std::vector<CacheStats> PerShardStats() const;
+  std::uint64_t requests_applied() const;
+  std::uint64_t batches_applied() const;
+
+  std::size_t shards() const { return shards_.size(); }
+  std::size_t pages_per_shard() const { return pages_per_shard_; }
+  unsigned consumers() const { return static_cast<unsigned>(consumers_.size()); }
+
+ private:
+  /// One submitted batch, owned by the submitting thread; `applied` is
+  /// signalled under the owning queue's mutex.
+  struct Batch {
+    const Request* requests = nullptr;
+    std::size_t n = 0;
+    bool applied = false;
+  };
+
+  /// Per-client ingress queue: producers push under `mu`, the assigned
+  /// consumer pops. MPSC by construction (any thread may produce for
+  /// the client; exactly one consumer services the queue).
+  struct ClientQueue {
+    std::mutex mu;
+    std::condition_variable arrival;   // consumer waits: batch or eos
+    std::condition_variable applied;   // producer waits: batch done
+    std::deque<Batch*> pending;
+    bool eos = false;
+  };
+
+  /// A cache shard: policy + stats behind one mutex. The Policy
+  /// interface is not thread-safe (core/policy.h); `mu` is the sole
+  /// serialization point for Access() on this shard's policy, and the
+  /// NDEBUG-gated `entered` flag asserts that discipline holds.
+  struct Shard {
+    std::mutex mu;
+    std::unique_ptr<Policy> policy;
+    SeqNum seq = 0;
+    std::vector<CacheStats> client_stats;  // indexed by Request::client
+    std::uint64_t requests = 0;
+#ifndef NDEBUG
+    bool entered = false;  // set/cleared under mu; asserts single entry
+#endif
+  };
+
+  void ApplyBatch(std::size_t consumer_index, const Batch& batch);
+  void ConsumeRoundRobin(std::size_t consumer_index);
+  void ConsumeInClientOrder();
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<ClientQueue>> queues_;
+  std::vector<std::thread> consumers_;
+  // Per-consumer scratch: batch indices bucketed by shard, reused
+  // across batches so the drain path allocates only on capacity growth.
+  std::vector<std::vector<std::vector<std::uint32_t>>> scratch_;
+  std::size_t pages_per_shard_ = 0;
+  bool deterministic_ = false;
+  bool shut_down_ = false;
+  std::atomic<std::uint64_t> batches_applied_{0};
+};
+
+/// Closed-loop load generation against a CacheServer.
+struct LoadOptions {
+  std::size_t clients = 1;
+  std::size_t batch_size = 64;
+  /// Caps how much of the trace is replayed (0 = the whole trace).
+  /// Client c replays the contiguous chunk [c*N/C, (c+1)*N/C) of the
+  /// capped trace, so the concatenation of all chunks in client order
+  /// is the capped trace itself (the determinism rule relies on this).
+  std::uint64_t request_budget = 0;
+  /// > 0: clients loop their chunk until the wall clock runs out
+  /// (throughput mode; rejected when options.deterministic is set).
+  /// The first pass of each chunk always completes — every request is
+  /// applied at least once — and the deadline then cuts later passes
+  /// at the next batch boundary.
+  double duration_seconds = 0.0;
+};
+
+struct ClientLoadStats {
+  std::uint64_t requests = 0;
+  std::uint64_t batches = 0;
+  double p50_us = 0.0;  // per-batch submit-to-applied latency
+  double p99_us = 0.0;
+};
+
+struct ServeResult {
+  CacheStats total;
+  std::map<ClientId, CacheStats> per_client;  // keyed by Request::client
+  std::vector<CacheStats> per_shard;
+  std::vector<ClientLoadStats> per_driver;  // indexed by driver client
+  std::uint64_t requests = 0;
+  std::uint64_t batches = 0;
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;
+  double p50_us = 0.0;  // across all drivers' batches
+  double p99_us = 0.0;
+};
+
+/// Replays `trace` against a fresh CacheServer with `load.clients`
+/// closed-loop driver threads. Throws std::invalid_argument for
+/// incompatible options (deterministic + duration, zero clients/batch).
+ServeResult ServeTrace(const Trace& trace, const ServerOptions& options,
+                       const LoadOptions& load);
+
+}  // namespace clic::server

@@ -1,0 +1,487 @@
+// clic_serve: drive the sharded online cache server with closed-loop
+// clients replaying a named trace, and report throughput, batch latency
+// percentiles, and hit statistics.
+//
+//   clic_serve --trace=DB2_C60 --policy=CLIC --shards=4 --clients=8
+//              --cache-pages=12000 --requests=200000 --format=json
+//   clic_serve --trace=DB2_C60 --policy=LRU --shards=2 --clients=2
+//              --deterministic --verify
+//
+// --deterministic runs the single-consumer mode whose hit counts are
+// bit-identical to per-shard sequential Simulate() of the partitioned
+// trace; --verify checks exactly that in-process and fails loudly on
+// any divergence.
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "common/cli_util.h"
+#include "server/cache_server.h"
+#include "sweep/sweep.h"
+#include "sweep/trace_cache.h"
+#include "workload/trace_factory.h"
+
+namespace clic::server {
+namespace {
+
+constexpr char kProg[] = "clic_serve";
+
+struct CliOptions {
+  std::string trace;
+  ServerOptions server;
+  LoadOptions load;
+  bool verify = false;
+  std::string cache_dir;       // empty = CLIC_TRACE_CACHE_DIR / default
+  std::uint64_t requests = 0;  // 0 = CLIC_BENCH_REQUESTS / default cap
+  std::string format = "csv";
+  std::string output;  // empty = stdout
+};
+
+void Usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "Usage: clic_serve --trace=NAME [flags]\n"
+      "\n"
+      "Workload:\n"
+      "  --trace=NAME       named trace to replay (see --list)\n"
+      "  --requests=N       request budget (overrides CLIC_BENCH_REQUESTS)\n"
+      "  --duration=SEC     run clients for SEC seconds instead of one\n"
+      "                     pass (incompatible with --deterministic)\n"
+      "  --cache-dir=PATH   trace cache dir (overrides "
+      "CLIC_TRACE_CACHE_DIR)\n"
+      "\n"
+      "Server:\n"
+      "  --policy=NAME      shard replacement policy (default LRU; OPT is\n"
+      "                     clairvoyant and not servable)\n"
+      "  --shards=S         hash shards, each with its own policy "
+      "(default 4)\n"
+      "  --cache-pages=N    total cache budget, split across shards\n"
+      "                     (default 12000)\n"
+      "  --clients=C        closed-loop client threads (default 4)\n"
+      "  --batch=B          requests per submitted batch (default 64)\n"
+      "  --deterministic    single consumer, strict client order: hit\n"
+      "                     counts match per-shard sequential Simulate()\n"
+      "  --verify           with --deterministic: check that equivalence\n"
+      "                     in-process, exit 1 on any mismatch\n"
+      "\n"
+      "CLIC options (when --policy=CLIC):\n"
+      "  --window=W --decay=R --outqueue=N --no-charge-metadata\n"
+      "  --tracker=exact|space_saving|lossy_counting --top-k=K\n"
+      "\n"
+      "Output:\n"
+      "  --format=csv|json  summary row (csv) or full object (json)\n"
+      "  --output=FILE      default: stdout\n"
+      "  --list             print known traces and policies, then exit\n"
+      "  --help             this text\n");
+}
+
+[[noreturn]] void Die(const std::string& message) { cli::Die(kProg, message); }
+
+void PrintList() {
+  std::printf("Traces:");
+  for (const NamedTraceInfo& info : NamedTraces()) {
+    std::printf(" %s", info.name.c_str());
+  }
+  std::printf("\nPolicies:");
+  for (PolicyKind kind : AllPolicies()) {
+    if (kind == PolicyKind::kOpt) continue;  // not servable online
+    std::printf(" %s", PolicyName(kind));
+  }
+  std::printf("\n");
+}
+
+CliOptions Parse(int argc, char** argv) {
+  CliOptions opts;
+  opts.server.shards = 4;
+  opts.server.cache_pages = 12'000;
+  opts.load.clients = 4;
+  opts.load.batch_size = 64;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      Usage(stdout);
+      std::exit(0);
+    }
+    if (arg == "--list") {
+      PrintList();
+      std::exit(0);
+    }
+    if (arg == "--deterministic") {
+      opts.server.deterministic = true;
+      continue;
+    }
+    if (arg == "--verify") {
+      opts.verify = true;
+      continue;
+    }
+    if (arg == "--no-charge-metadata") {
+      opts.server.clic.charge_metadata = false;
+      continue;
+    }
+    const std::size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      Die("unrecognized argument '" + arg + "'");
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "--trace") {
+      cli::RequireKnownTrace(kProg, key, value);
+      opts.trace = value;
+    } else if (key == "--policy") {
+      opts.server.policy = cli::RequirePolicy(kProg, key, value);
+      if (opts.server.policy == PolicyKind::kOpt) {
+        Die("--policy=OPT: OPT is clairvoyant and cannot serve an online "
+            "stream (valid policies: " +
+            cli::KnownPolicyNames() + ", minus OPT)");
+      }
+    } else if (key == "--shards") {
+      const std::uint64_t shards = cli::ParseU64(kProg, key, value);
+      if (shards > 4096) Die(key + "='" + value + "' is unreasonably large");
+      opts.server.shards = static_cast<std::size_t>(shards);
+    } else if (key == "--cache-pages") {
+      opts.server.cache_pages =
+          static_cast<std::size_t>(cli::ParseU64(kProg, key, value));
+    } else if (key == "--clients") {
+      const std::uint64_t clients = cli::ParseU64(kProg, key, value);
+      if (clients > 4096) Die(key + "='" + value + "' is unreasonably large");
+      opts.load.clients = static_cast<std::size_t>(clients);
+    } else if (key == "--batch") {
+      opts.load.batch_size =
+          static_cast<std::size_t>(cli::ParseU64(kProg, key, value));
+    } else if (key == "--requests") {
+      opts.requests = cli::ParseU64(kProg, key, value);
+    } else if (key == "--duration") {
+      opts.load.duration_seconds = cli::ParseDouble(kProg, key, value);
+    } else if (key == "--cache-dir") {
+      opts.cache_dir = value;
+    } else if (key == "--window") {
+      opts.server.clic.window = cli::ParseU64(kProg, key, value);
+    } else if (key == "--decay") {
+      opts.server.clic.decay = cli::ParseDouble(kProg, key, value);
+    } else if (key == "--outqueue") {
+      opts.server.clic.outqueue_per_page = cli::ParseDouble(kProg, key, value);
+    } else if (key == "--top-k") {
+      opts.server.clic.top_k =
+          static_cast<std::size_t>(cli::ParseU64(kProg, key, value));
+    } else if (key == "--tracker") {
+      if (value == "exact") {
+        opts.server.clic.tracker = TrackerKind::kExact;
+      } else if (value == "space_saving") {
+        opts.server.clic.tracker = TrackerKind::kSpaceSaving;
+      } else if (value == "lossy_counting") {
+        opts.server.clic.tracker = TrackerKind::kLossyCounting;
+      } else {
+        Die("unknown --tracker='" + value +
+            "' (valid: exact, space_saving, lossy_counting)");
+      }
+    } else if (key == "--format") {
+      if (value != "csv" && value != "json") {
+        Die("unknown --format='" + value + "' (want csv or json)");
+      }
+      opts.format = value;
+    } else if (key == "--output") {
+      opts.output = value;
+    } else {
+      Die("unrecognized flag '" + key + "'");
+    }
+  }
+  if (opts.trace.empty()) {
+    Die("--trace is required (valid traces: " + cli::KnownTraceNames() + ")");
+  }
+  if (opts.verify && !opts.server.deterministic) {
+    Die("--verify requires --deterministic (concurrent interleaving is "
+        "timing-dependent by design)");
+  }
+  if (opts.server.deterministic && opts.load.duration_seconds > 0.0) {
+    Die("--deterministic and --duration are incompatible: duration mode "
+        "replays in wall-clock order");
+  }
+  return opts;
+}
+
+using sweep::AppendDouble;
+
+SimResult AsSimResult(const ServeResult& result) {
+  SimResult sim;
+  sim.total = result.total;
+  sim.per_client = result.per_client;
+  return sim;
+}
+
+std::string CsvSummaryHeader() {
+  return "trace,policy,shards,clients,cache_pages,pages_per_shard,batch,"
+         "deterministic,requests,batches,reads,writes,read_hits,write_hits,"
+         "read_hit_ratio,write_hit_ratio,wall_seconds,throughput_rps,p50_us,"
+         "p99_us,per_client";
+}
+
+std::string CsvSummaryRow(const CliOptions& opts, const ServeResult& r,
+                          std::size_t pages_per_shard) {
+  std::string out;
+  out.append(sweep::CsvField(opts.trace));
+  out.push_back(',');
+  out.append(sweep::CsvField(PolicyName(opts.server.policy)));
+  out.push_back(',');
+  out.append(std::to_string(opts.server.shards));
+  out.push_back(',');
+  out.append(std::to_string(opts.load.clients));
+  out.push_back(',');
+  out.append(std::to_string(opts.server.cache_pages));
+  out.push_back(',');
+  out.append(std::to_string(pages_per_shard));
+  out.push_back(',');
+  out.append(std::to_string(opts.load.batch_size));
+  out.push_back(',');
+  out.append(opts.server.deterministic ? "1" : "0");
+  out.push_back(',');
+  out.append(std::to_string(r.requests));
+  out.push_back(',');
+  out.append(std::to_string(r.batches));
+  out.push_back(',');
+  out.append(std::to_string(r.total.reads));
+  out.push_back(',');
+  out.append(std::to_string(r.total.writes));
+  out.push_back(',');
+  out.append(std::to_string(r.total.read_hits));
+  out.push_back(',');
+  out.append(std::to_string(r.total.write_hits));
+  out.push_back(',');
+  AppendDouble(&out, r.total.ReadHitRatio());
+  out.push_back(',');
+  AppendDouble(&out, r.total.WriteHitRatio());
+  out.push_back(',');
+  AppendDouble(&out, r.wall_seconds);
+  out.push_back(',');
+  AppendDouble(&out, r.throughput_rps);
+  out.push_back(',');
+  AppendDouble(&out, r.p50_us);
+  out.push_back(',');
+  AppendDouble(&out, r.p99_us);
+  out.push_back(',');
+  out.append(sweep::CsvField(sweep::PerClientColumn(AsSimResult(r))));
+  return out;
+}
+
+std::string JsonSummary(const CliOptions& opts, const ServeResult& r,
+                        std::size_t pages_per_shard) {
+  std::string out = "{\"trace\":\"";
+  out.append(sweep::JsonEscaped(opts.trace));
+  out.append("\",\"policy\":\"");
+  out.append(sweep::JsonEscaped(PolicyName(opts.server.policy)));
+  out.append("\",\"shards\":");
+  out.append(std::to_string(opts.server.shards));
+  out.append(",\"clients\":");
+  out.append(std::to_string(opts.load.clients));
+  out.append(",\"cache_pages\":");
+  out.append(std::to_string(opts.server.cache_pages));
+  out.append(",\"pages_per_shard\":");
+  out.append(std::to_string(pages_per_shard));
+  out.append(",\"batch\":");
+  out.append(std::to_string(opts.load.batch_size));
+  out.append(",\"deterministic\":");
+  out.append(opts.server.deterministic ? "true" : "false");
+  out.append(",\"requests\":");
+  out.append(std::to_string(r.requests));
+  out.append(",\"batches\":");
+  out.append(std::to_string(r.batches));
+  out.append(",\"reads\":");
+  out.append(std::to_string(r.total.reads));
+  out.append(",\"writes\":");
+  out.append(std::to_string(r.total.writes));
+  out.append(",\"read_hits\":");
+  out.append(std::to_string(r.total.read_hits));
+  out.append(",\"write_hits\":");
+  out.append(std::to_string(r.total.write_hits));
+  out.append(",\"read_hit_ratio\":");
+  AppendDouble(&out, r.total.ReadHitRatio());
+  out.append(",\"write_hit_ratio\":");
+  AppendDouble(&out, r.total.WriteHitRatio());
+  out.append(",\"wall_seconds\":");
+  AppendDouble(&out, r.wall_seconds);
+  out.append(",\"throughput_rps\":");
+  AppendDouble(&out, r.throughput_rps);
+  out.append(",\"p50_us\":");
+  AppendDouble(&out, r.p50_us);
+  out.append(",\"p99_us\":");
+  AppendDouble(&out, r.p99_us);
+  out.append(",\"per_shard\":[");
+  for (std::size_t s = 0; s < r.per_shard.size(); ++s) {
+    if (s > 0) out.push_back(',');
+    const CacheStats& stats = r.per_shard[s];
+    out.append("{\"reads\":");
+    out.append(std::to_string(stats.reads));
+    out.append(",\"writes\":");
+    out.append(std::to_string(stats.writes));
+    out.append(",\"read_hits\":");
+    out.append(std::to_string(stats.read_hits));
+    out.append(",\"write_hits\":");
+    out.append(std::to_string(stats.write_hits));
+    out.append("}");
+  }
+  out.append("],\"per_client\":{");
+  bool first = true;
+  for (const auto& [client, stats] : r.per_client) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out.append(std::to_string(client));
+    out.append("\":{\"reads\":");
+    out.append(std::to_string(stats.reads));
+    out.append(",\"read_hits\":");
+    out.append(std::to_string(stats.read_hits));
+    out.append(",\"writes\":");
+    out.append(std::to_string(stats.writes));
+    out.append(",\"write_hits\":");
+    out.append(std::to_string(stats.write_hits));
+    out.append("}");
+  }
+  out.append("}}");
+  return out;
+}
+
+bool SameStats(const CacheStats& a, const CacheStats& b) {
+  return a.reads == b.reads && a.writes == b.writes &&
+         a.read_hits == b.read_hits && a.write_hits == b.write_hits;
+}
+
+void PrintStatsPair(const std::string& what, const CacheStats& served,
+                    const CacheStats& expected) {
+  auto line = [&what](const char* tag, const CacheStats& s) {
+    std::fprintf(stderr,
+                 "clic_serve:   %s %s reads=%llu writes=%llu read_hits=%llu "
+                 "write_hits=%llu\n",
+                 what.c_str(), tag, static_cast<unsigned long long>(s.reads),
+                 static_cast<unsigned long long>(s.writes),
+                 static_cast<unsigned long long>(s.read_hits),
+                 static_cast<unsigned long long>(s.write_hits));
+  };
+  line("served  ", served);
+  line("expected", expected);
+}
+
+int Verify(const ServeResult& served, const SimResult& expected) {
+  bool ok = true;
+  if (!SameStats(served.total, expected.total)) {
+    ok = false;
+    std::fprintf(stderr,
+                 "clic_serve: VERIFY FAILED — aggregate counts diverged from "
+                 "per-shard sequential Simulate():\n");
+    PrintStatsPair("total", served.total, expected.total);
+  }
+  // Name the exact client (or field) that diverged: an aggregate match
+  // with a per-client mismatch is the subtle failure mode this check
+  // exists to expose.
+  for (const auto& [client, stats] : expected.per_client) {
+    const auto it = served.per_client.find(client);
+    if (it == served.per_client.end()) {
+      ok = false;
+      std::fprintf(stderr,
+                   "clic_serve: VERIFY FAILED — client %u missing from "
+                   "served per-client stats\n",
+                   static_cast<unsigned>(client));
+    } else if (!SameStats(stats, it->second)) {
+      ok = false;
+      std::fprintf(stderr,
+                   "clic_serve: VERIFY FAILED — client %u counts diverged:\n",
+                   static_cast<unsigned>(client));
+      PrintStatsPair("client", it->second, stats);
+    }
+  }
+  for (const auto& [client, stats] : served.per_client) {
+    if (expected.per_client.find(client) == expected.per_client.end()) {
+      ok = false;
+      std::fprintf(stderr,
+                   "clic_serve: VERIFY FAILED — served stats contain "
+                   "unexpected client %u (%llu requests)\n",
+                   static_cast<unsigned>(client),
+                   static_cast<unsigned long long>(stats.reads + stats.writes));
+    }
+  }
+  if (!ok) return 1;
+  std::fprintf(stderr,
+               "clic_serve: verify OK — aggregate and per-client hit counts "
+               "bit-identical to per-shard sequential Simulate()\n");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  const CliOptions opts = Parse(argc, argv);
+
+  const std::string dir =
+      opts.cache_dir.empty() ? sweep::CacheDirFromEnv() : opts.cache_dir;
+  const std::uint64_t cap =
+      opts.requests > 0 ? opts.requests : sweep::RequestCapFromEnv();
+  sweep::TraceCache cache(dir, cap);
+  const Trace& trace = cache.Get(opts.trace);
+
+  LoadOptions load = opts.load;
+  load.request_budget = cap;
+
+  std::FILE* out = stdout;
+  if (!opts.output.empty()) {
+    out = std::fopen(opts.output.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "clic_serve: cannot open '%s': %s\n",
+                   opts.output.c_str(), std::strerror(errno));
+      return 1;
+    }
+  }
+
+  const std::size_t pages_per_shard =
+      ShardCachePages(opts.server.cache_pages, opts.server.shards);
+  std::fprintf(stderr,
+               "clic_serve: %s via %s, %zu shards x %zu pages, %zu clients, "
+               "batch %zu, %s\n",
+               opts.trace.c_str(), PolicyName(opts.server.policy),
+               opts.server.shards, pages_per_shard, opts.load.clients,
+               opts.load.batch_size,
+               opts.server.deterministic ? "deterministic" : "concurrent");
+
+  ServeResult result;
+  try {
+    result = ServeTrace(trace, opts.server, load);
+  } catch (const std::invalid_argument& e) {
+    Die(e.what());
+  }
+
+  int exit_code = 0;
+  if (opts.verify) {
+    exit_code = Verify(result, PartitionedSimulate(trace, opts.server, cap));
+  }
+
+  if (opts.format == "csv") {
+    std::fprintf(out, "%s\n%s\n", CsvSummaryHeader().c_str(),
+                 CsvSummaryRow(opts, result, pages_per_shard).c_str());
+  } else {
+    std::fprintf(out, "%s\n",
+                 JsonSummary(opts, result, pages_per_shard).c_str());
+  }
+  bool write_ok = std::ferror(out) == 0;
+  if (out != stdout) {
+    write_ok = std::fclose(out) == 0 && write_ok;
+  } else {
+    write_ok = std::fflush(out) == 0 && write_ok;
+  }
+  if (!write_ok) {
+    std::fprintf(stderr, "clic_serve: error writing %s: %s\n",
+                 opts.output.empty() ? "stdout" : opts.output.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+  std::fprintf(stderr,
+               "clic_serve: %llu requests in %.3fs (%.0f req/s), p50 %.1fus "
+               "p99 %.1fus\n",
+               static_cast<unsigned long long>(result.requests),
+               result.wall_seconds, result.throughput_rps, result.p50_us,
+               result.p99_us);
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace clic::server
+
+int main(int argc, char** argv) { return clic::server::Main(argc, argv); }

@@ -6,39 +6,41 @@ namespace clic {
 
 SimResult Simulate(const Trace& trace, Policy& policy) {
   SimResult result;
-  // Flat per-client accumulators, pre-sized by a single cheap scan so
-  // the replay loop carries no growth branch; folded into the map
-  // afterwards. Client ids are small dense integers.
+  // Client ids are usually small dense integers, so the common path
+  // uses flat per-client accumulators pre-sized by one cheap scan (no
+  // growth branch in the replay loop), folded into the map afterwards.
+  // One stray huge ClientId must not turn that pre-size into a massive
+  // allocation, so a density bound guards the flat path: when the id
+  // space is much larger than the trace itself, fall back to the map.
   ClientId max_client = 0;
   for (const Request& r : trace.requests) {
     if (r.client > max_client) max_client = r.client;
   }
-  std::vector<CacheStats> clients(
-      trace.requests.empty() ? 0 : static_cast<std::size_t>(max_client) + 1);
+  const std::size_t spread =
+      trace.requests.empty() ? 0 : static_cast<std::size_t>(max_client) + 1;
+  const bool dense = spread <= 1024 || spread <= 2 * trace.requests.size();
   SeqNum seq = 0;
-  for (const Request& r : trace.requests) {
-    const bool hit = policy.Access(r, seq++);
-    CacheStats& c = clients[r.client];
-    if (r.op == OpType::kRead) {
-      ++result.total.reads;
-      ++c.reads;
-      if (hit) {
-        ++result.total.read_hits;
-        ++c.read_hits;
-      }
-    } else {
-      ++result.total.writes;
-      ++c.writes;
-      if (hit) {
-        ++result.total.write_hits;
-        ++c.write_hits;
-      }
+  if (dense) {
+    std::vector<CacheStats> clients(spread);
+    for (const Request& r : trace.requests) {
+      const bool hit = policy.Access(r, seq++);
+      result.total.Record(r, hit);
+      clients[r.client].Record(r, hit);
     }
-  }
-  for (std::size_t i = 0; i < clients.size(); ++i) {
-    const CacheStats& c = clients[i];
-    if (c.reads + c.writes == 0) continue;
-    result.per_client.emplace(static_cast<ClientId>(i), c);
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      const CacheStats& c = clients[i];
+      if (c.reads + c.writes == 0) continue;
+      result.per_client.emplace(static_cast<ClientId>(i), c);
+    }
+  } else {
+    // Sparse ids: accumulate straight into the result map. Slower per
+    // request, but only ever taken for degenerate traces where a flat
+    // vector would waste far more memory than the trace occupies.
+    for (const Request& r : trace.requests) {
+      const bool hit = policy.Access(r, seq++);
+      result.total.Record(r, hit);
+      result.per_client[r.client].Record(r, hit);
+    }
   }
   return result;
 }

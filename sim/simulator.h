@@ -16,6 +16,27 @@ struct CacheStats {
   std::uint64_t read_hits = 0;
   std::uint64_t write_hits = 0;
 
+  /// The one place hit/miss bookkeeping lives: the simulator and the
+  /// online server both account through this, so a new counter can
+  /// never be added to one replay path and missed in the other.
+  void Record(const Request& r, bool hit) {
+    if (r.op == OpType::kRead) {
+      ++reads;
+      read_hits += hit;
+    } else {
+      ++writes;
+      write_hits += hit;
+    }
+  }
+
+  CacheStats& operator+=(const CacheStats& o) {
+    reads += o.reads;
+    writes += o.writes;
+    read_hits += o.read_hits;
+    write_hits += o.write_hits;
+    return *this;
+  }
+
   double ReadHitRatio() const {
     return reads ? static_cast<double>(read_hits) /
                        static_cast<double>(reads)
@@ -34,7 +55,10 @@ struct SimResult {
 };
 
 /// Replays `trace` through `policy` from a cold cache. Passes seq =
-/// request index to Policy::Access (OPT depends on this).
+/// request index to Policy::Access (OPT depends on this). Per-client
+/// accumulation is flat-vector for dense client ids and falls back to
+/// a map when the id space is much larger than the trace, so a stray
+/// huge ClientId cannot blow up the accumulator allocation.
 SimResult Simulate(const Trace& trace, Policy& policy);
 
 }  // namespace clic

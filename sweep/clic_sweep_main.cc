@@ -11,7 +11,6 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,12 +18,15 @@
 #include <thread>
 #include <vector>
 
+#include "common/cli_util.h"
 #include "sweep/sweep.h"
 #include "sweep/trace_cache.h"
 #include "workload/trace_factory.h"
 
 namespace clic::sweep {
 namespace {
+
+constexpr char kProg[] = "clic_sweep";
 
 struct CliOptions {
   SweepSpec spec;
@@ -66,59 +68,28 @@ void Usage(std::FILE* out) {
 }
 
 [[noreturn]] void Die(const std::string& message) {
-  std::fprintf(stderr, "clic_sweep: %s\n", message.c_str());
-  std::fprintf(stderr, "Run clic_sweep --help for usage.\n");
-  std::exit(2);
-}
-
-std::vector<std::string> SplitCsv(const std::string& value) {
-  std::vector<std::string> parts;
-  std::size_t start = 0;
-  while (start <= value.size()) {
-    const std::size_t comma = value.find(',', start);
-    const std::size_t end = comma == std::string::npos ? value.size() : comma;
-    if (end > start) parts.push_back(value.substr(start, end - start));
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return parts;
+  cli::Die(kProg, message);
 }
 
 std::uint64_t ParseU64(const std::string& flag, const std::string& value) {
-  errno = 0;
-  char* end = nullptr;
-  const std::uint64_t parsed = std::strtoull(value.c_str(), &end, 10);
-  if (errno != 0 || end == value.c_str() || *end != '\0' || parsed == 0) {
-    Die(flag + "='" + value + "' is not a positive integer");
-  }
-  return parsed;
+  return cli::ParseU64(kProg, flag, value);
 }
 
 double ParseDouble(const std::string& flag, const std::string& value) {
-  errno = 0;
-  char* end = nullptr;
-  const double parsed = std::strtod(value.c_str(), &end);
-  if (errno != 0 || end == value.c_str() || *end != '\0' ||
-      !std::isfinite(parsed) || parsed < 0.0) {
-    Die(flag + "='" + value + "' is not a finite non-negative number");
-  }
-  return parsed;
+  return cli::ParseDouble(kProg, flag, value);
 }
 
 void ValidateTraceNames(const std::vector<std::string>& names) {
   for (const std::string& name : names) {
-    bool known = false;
-    for (const NamedTraceInfo& info : NamedTraces()) {
-      known = known || info.name == name;
-    }
-    if (!known) Die("unknown trace '" + name + "' (see --list)");
+    cli::RequireKnownTrace(kProg, "--traces", name);
   }
 }
 
 void ApplyFigurePreset(const std::string& figure, SweepSpec* spec) {
   const std::optional<SweepSpec> preset = FigureSpec(figure);
   if (!preset) {
-    Die("unknown --figure='" + figure + "' (want 6, 7, 8 or ablation)");
+    Die("unknown --figure='" + figure +
+        "' (valid figures: 6, 7, 8, ablation)");
   }
   // Only the grid fields: CLIC option flags parsed before --figure
   // must survive the preset.
@@ -214,18 +185,21 @@ CliOptions Parse(int argc, char** argv) {
   }
 
   if (!figure.empty()) ApplyFigurePreset(figure, &cli.spec);
-  if (!traces.empty()) cli.spec.traces = SplitCsv(traces);
+  if (!traces.empty()) {
+    cli.spec.traces = ::clic::cli::SplitCsvFlag(kProg, "--traces", traces);
+  }
   if (!policies.empty()) {
     cli.spec.policies.clear();
-    for (const std::string& name : SplitCsv(policies)) {
-      const std::optional<PolicyKind> kind = ParsePolicyKind(name);
-      if (!kind) Die("unknown policy '" + name + "' (see --list)");
-      cli.spec.policies.push_back(*kind);
+    for (const std::string& name :
+         ::clic::cli::SplitCsvFlag(kProg, "--policies", policies)) {
+      cli.spec.policies.push_back(
+          ::clic::cli::RequirePolicy(kProg, "--policies", name));
     }
   }
   if (!cache_pages.empty()) {
     cli.spec.cache_sizes.clear();
-    for (const std::string& size : SplitCsv(cache_pages)) {
+    for (const std::string& size :
+         ::clic::cli::SplitCsvFlag(kProg, "--cache-pages", cache_pages)) {
       cli.spec.cache_sizes.push_back(
           static_cast<std::size_t>(ParseU64("--cache-pages", size)));
     }

@@ -59,14 +59,54 @@ void RunOnPool(unsigned threads, std::size_t n,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void AppendU64(std::string* out, std::uint64_t value) {
+  out->append(std::to_string(value));
+}
+
+}  // namespace
+
 void AppendDouble(std::string* out, double value) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.17g", value);
   out->append(buf);
 }
 
-void AppendU64(std::string* out, std::uint64_t value) {
-  out->append(std::to_string(value));
+std::string CsvField(const std::string& value) {
+  if (value.find_first_of(",\"\r\n") == std::string::npos) return value;
+  std::string out;
+  out.reserve(value.size() + 2);
+  out.push_back('"');
+  for (char c : value) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JsonEscaped(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '"':
+        out.append("\\\"");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
 }
 
 std::string PerClientColumn(const SimResult& result) {
@@ -85,8 +125,6 @@ std::string PerClientColumn(const SimResult& result) {
   }
   return out;
 }
-
-}  // namespace
 
 std::vector<SweepPoint> ExpandGrid(const SweepSpec& spec) {
   std::vector<SweepPoint> points;
@@ -188,9 +226,9 @@ std::string CsvHeader() {
 std::string CsvRow(const SweepRow& row) {
   const CacheStats& t = row.result.total;
   std::string out;
-  out.append(row.point.trace);
+  out.append(CsvField(row.point.trace));
   out.push_back(',');
-  out.append(PolicyName(row.point.policy));
+  out.append(CsvField(PolicyName(row.point.policy)));
   out.push_back(',');
   out.append(std::to_string(row.point.cache_pages));
   out.push_back(',');
@@ -217,9 +255,9 @@ std::string CsvRow(const SweepRow& row) {
 std::string JsonRow(const SweepRow& row) {
   const CacheStats& t = row.result.total;
   std::string out = "{\"trace\":\"";
-  out.append(row.point.trace);  // trace names are [A-Za-z0-9_]: no escaping
+  out.append(JsonEscaped(row.point.trace));
   out.append("\",\"policy\":\"");
-  out.append(PolicyName(row.point.policy));
+  out.append(JsonEscaped(PolicyName(row.point.policy)));
   out.append("\",\"cache_pages\":");
   out.append(std::to_string(row.point.cache_pages));
   out.append(",\"requests\":");

@@ -76,10 +76,31 @@ class SweepRunner {
   unsigned threads_;
 };
 
+/// Appends `value` as %.17g — the one double format every emitter in
+/// the repo uses, so equal doubles always print byte-identically (the
+/// CI determinism diffs depend on it).
+void AppendDouble(std::string* out, double value);
+
+/// RFC-4180 field quoting: returns `value` unchanged when it contains
+/// no comma, double quote, CR or LF; otherwise wraps it in double
+/// quotes with embedded quotes doubled. Every CSV emitter in the repo
+/// (sweep rows, clic_serve stats) must pass free-form strings — trace
+/// and policy names — through this so a hostile name can never corrupt
+/// a row.
+std::string CsvField(const std::string& value);
+
+/// Minimal JSON string escaping: backslash, double quote, and control
+/// characters (as \uXXXX). Same contract as CsvField, for the JSON
+/// emitters.
+std::string JsonEscaped(const std::string& value);
+
+/// Flattens per-client stats into one CSV-safe column:
+/// `client=reads:read_hits:writes:write_hits;...` in client-id order.
+std::string PerClientColumn(const SimResult& result);
+
 /// CSV / JSON row emission. Hit ratios are printed with %.17g so equal
 /// doubles produce byte-identical text (the N=1 vs N=8 comparison in CI
-/// diffs these rows). Per-client stats are flattened into one column as
-/// `client=reads:read_hits:writes:write_hits;...` in client-id order.
+/// diffs these rows).
 std::string CsvHeader();
 std::string CsvRow(const SweepRow& row);
 /// One self-contained JSON object per row (per_client is a nested map).

@@ -37,30 +37,31 @@ std::string CacheDirFromEnv() {
   return "clic_trace_cache";
 }
 
-namespace {
-
-/// Collects `.tmp.` orphans left by crashed or killed savers (SaveTrace
-/// writes to unique `<path>.tmp.<pid>.<n>` names, so nothing overwrites
-/// them). Only files older than an hour are removed: an in-flight save
-/// from a live concurrent process is seconds old and must not be
-/// disturbed.
-void RemoveStaleTempFiles(const std::string& dir) {
+// Collects `.tmp.` orphans left by crashed or killed savers (SaveTrace
+// writes to unique `<path>.tmp.<pid>.<n>` names, so nothing overwrites
+// them). The age threshold is the whole safety argument: an in-flight
+// save from a live concurrent process is seconds old and must never be
+// unlinked out from under its writer, so only files strictly older
+// than `max_age_seconds` are touched.
+std::size_t CollectStaleTempFiles(const std::string& dir,
+                                  std::time_t max_age_seconds) {
   DIR* d = ::opendir(dir.c_str());
-  if (d == nullptr) return;
+  if (d == nullptr) return 0;
   const std::time_t now = std::time(nullptr);
+  std::size_t removed = 0;
   while (const dirent* e = ::readdir(d)) {
     const std::string name = e->d_name;
     if (name.find(".tmp.") == std::string::npos) continue;
     const std::string path = dir + "/" + name;
     struct stat st{};
-    if (::stat(path.c_str(), &st) == 0 && now - st.st_mtime > 3600) {
-      std::remove(path.c_str());
+    if (::stat(path.c_str(), &st) == 0 && now - st.st_mtime > max_age_seconds &&
+        std::remove(path.c_str()) == 0) {
+      ++removed;
     }
   }
   ::closedir(d);
+  return removed;
 }
-
-}  // namespace
 
 TraceCache::TraceCache(std::string dir, std::uint64_t request_cap)
     : dir_(std::move(dir)), request_cap_(request_cap) {}
@@ -102,7 +103,7 @@ void TraceCache::Fill(const std::string& name, Entry& entry) {
                  std::strerror(errno));
     std::exit(1);
   }
-  std::call_once(cleanup_once_, [this] { RemoveStaleTempFiles(dir_); });
+  std::call_once(cleanup_once_, [this] { CollectStaleTempFiles(dir_); });
   // Cache key = name + target length + generator version: any of the
   // three changing invalidates the cached file.
   const std::string path = dir_ + "/" + name + "_" + std::to_string(target) +

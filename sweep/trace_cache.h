@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <ctime>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -25,6 +26,21 @@ std::uint64_t RequestCapFromEnv();
 
 /// CLIC_TRACE_CACHE_DIR, default "clic_trace_cache".
 std::string CacheDirFromEnv();
+
+/// Age below which a `*.tmp.<pid>.<counter>` file in the cache dir is
+/// presumed to belong to a live racing saver (another bench process
+/// mid-SaveTrace) and must never be collected. A healthy save lasts
+/// seconds; ten minutes of slack keeps even a heavily loaded machine
+/// safe while still reclaiming genuinely orphaned temp files.
+inline constexpr std::time_t kStaleTempFileAgeSeconds = 600;
+
+/// Removes `.tmp.` orphans under `dir` whose mtime is strictly older
+/// than `max_age_seconds`. Returns the number of files removed.
+/// TraceCache runs this once per process on first use; exposed so the
+/// age-threshold contract is directly testable.
+std::size_t CollectStaleTempFiles(const std::string& dir,
+                                  std::time_t max_age_seconds =
+                                      kStaleTempFileAgeSeconds);
 
 class TraceCache {
  public:

@@ -1,0 +1,98 @@
+#!/bin/sh
+# CLI argument-validation regression test, run by CTest:
+#   cli_validation_test.sh <clic_sweep> <clic_serve>
+#
+# Contract under test (the clic_sweep satellite bugfix): an unknown
+# --policies / --traces / --figure token must fail fast with the
+# offending token AND the valid set on stderr and a non-zero exit —
+# never a silent skip, and never a bare abort deep in trace resolution.
+# None of these invocations may start a simulation, so the whole script
+# runs in milliseconds.
+set -u
+
+SWEEP="$1"
+SERVE="$2"
+failures=0
+
+# expect_reject <description> <token-that-must-appear> <valid-name-that-must-appear> -- cmd args...
+expect_reject() {
+  desc="$1"; token="$2"; valid="$3"; shift 3
+  [ "$1" = "--" ] && shift
+  err=$("$@" 2>&1 >/dev/null)
+  status=$?
+  if [ "$status" -eq 0 ]; then
+    echo "FAIL: $desc: expected non-zero exit, got 0" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  # 2 is the CLI-usage exit code; anything >= 128 means a signal (the
+  # 'bare abort' the bug report is about).
+  if [ "$status" -ge 128 ]; then
+    echo "FAIL: $desc: died by signal (exit $status) instead of a clean error" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  case "$err" in
+    *"$token"*) : ;;
+    *) echo "FAIL: $desc: stderr does not name the offending token '$token':" >&2
+       echo "$err" >&2
+       failures=$((failures + 1))
+       return ;;
+  esac
+  case "$err" in
+    *"$valid"*) : ;;
+    *) echo "FAIL: $desc: stderr does not list the valid set (expected '$valid'):" >&2
+       echo "$err" >&2
+       failures=$((failures + 1))
+       return ;;
+  esac
+  echo "ok: $desc"
+}
+
+expect_reject "clic_sweep unknown trace" "NO_SUCH_TRACE" "DB2_C60" -- \
+  "$SWEEP" --traces=NO_SUCH_TRACE --policies=LRU --cache-pages=100
+expect_reject "clic_sweep unknown trace among known ones" "BOGUS" "MY_H65" -- \
+  "$SWEEP" --traces=DB2_C60,BOGUS --policies=LRU --cache-pages=100
+expect_reject "clic_sweep unknown policy" "LRUU" "CLIC" -- \
+  "$SWEEP" --traces=DB2_C60 --policies=LRUU --cache-pages=100
+expect_reject "clic_sweep unknown figure" "9" "ablation" -- \
+  "$SWEEP" --figure=9
+expect_reject "clic_sweep empty policy token" "empty token" "--policies" -- \
+  "$SWEEP" --traces=DB2_C60 --policies=LRU,,CLIC --cache-pages=100
+expect_reject "clic_sweep trailing comma in traces" "empty token" "--traces" -- \
+  "$SWEEP" --traces=DB2_C60, --policies=LRU --cache-pages=100
+expect_reject "clic_sweep unknown flag" "--bogus" "help" -- \
+  "$SWEEP" --bogus=1
+expect_reject "clic_sweep bad thread count" "abc" "positive integer" -- \
+  "$SWEEP" --figure=6 --threads=abc
+
+expect_reject "clic_serve unknown trace" "NOPE" "DB2_C60" -- \
+  "$SERVE" --trace=NOPE
+expect_reject "clic_serve unknown policy" "FIFO" "CLIC" -- \
+  "$SERVE" --trace=DB2_C60 --policy=FIFO
+expect_reject "clic_serve OPT rejected" "OPT" "clairvoyant" -- \
+  "$SERVE" --trace=DB2_C60 --policy=OPT
+expect_reject "clic_serve missing trace" "--trace" "DB2_C60" -- \
+  "$SERVE" --policy=LRU
+expect_reject "clic_serve verify without deterministic" "--verify" "--deterministic" -- \
+  "$SERVE" --trace=DB2_C60 --verify
+expect_reject "clic_serve deterministic duration clash" "--duration" "--deterministic" -- \
+  "$SERVE" --trace=DB2_C60 --deterministic --duration=1
+
+# --help and --list must stay cheap and exit 0.
+for tool in "$SWEEP" "$SERVE"; do
+  if ! "$tool" --help >/dev/null 2>&1; then
+    echo "FAIL: $tool --help exited non-zero" >&2
+    failures=$((failures + 1))
+  fi
+  if ! "$tool" --list >/dev/null 2>&1; then
+    echo "FAIL: $tool --list exited non-zero" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures CLI validation check(s) failed" >&2
+  exit 1
+fi
+echo "all CLI validation checks passed"

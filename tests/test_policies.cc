@@ -7,6 +7,7 @@
 #include "sim/policy_factory.h"
 #include "sim/simulator.h"
 #include "policies/lru.h"
+#include "policies/mq.h"
 #include "policies/tq.h"
 
 namespace clic {
@@ -146,6 +147,52 @@ TEST(PolicyZooTest, TinyCachesDoNotCrash) {
     auto policy = MakePolicy(kind, 1, &trace, ClicOptions{});
     const SimResult result = Simulate(trace, *policy);
     EXPECT_EQ(result.total.reads, trace.size()) << PolicyName(kind);
+  }
+}
+
+// MQ demotes the tail of a higher queue only when its lifetime has
+// *strictly* expired (expire < now, not <=). The two runs below differ
+// only in whether the insertion burst happens at the boundary seq
+// (expire == now: no demotion) or one past it (expire < now: demotion),
+// and end with opposite residents.
+//
+// Shared prefix, cache of 3 pages, lifetime 10:
+//   seq0 A miss (q0, expire 10), seq1 A hit (freq 2 -> q1, expire 11)
+//   seq2 B miss (q0, expire 12), seq3 B hit (freq 2 -> q1, expire 13)
+//   seq4 D miss (q0, expire 14)          queues: q1=[B,A] q0=[D]
+TEST(MqTest, LifetimeExpirationBoundaryIsStrict) {
+  const HintSetId h = 0;
+  auto prefix = [&](MqPolicy& mq) {
+    SeqNum seq = 0;
+    for (PageId p : {1u, 1u, 2u, 2u, 3u}) {  // A=1 B=2 D=3
+      mq.Access(Request{p, h, 0, OpType::kRead, WriteKind::kNone}, seq++);
+    }
+  };
+  auto access = [&](MqPolicy& mq, PageId p, SeqNum seq) {
+    return mq.Access(Request{p, h, 0, OpType::kRead, WriteKind::kNone}, seq);
+  };
+
+  {
+    // Boundary run: inserts at seq 11, where A's expire (11) is NOT
+    // strictly older. No demotion: the two misses evict q0's D then the
+    // freshly inserted C, leaving A resident.
+    MqPolicy mq(3, /*lifetime=*/10);
+    prefix(mq);
+    EXPECT_FALSE(access(mq, 4, 11));  // C: evicts D (q0 tail)
+    EXPECT_FALSE(access(mq, 5, 11));  // E: evicts C, not the q1 pages
+    EXPECT_TRUE(access(mq, 1, 11)) << "A must survive at the boundary";
+    EXPECT_FALSE(access(mq, 4, 12)) << "C was the second victim";
+  }
+  {
+    // One past the boundary: at seq 12, A's expire (11) < now, so
+    // Adjust demotes A to q0 (MRU side). The first miss still evicts
+    // D, but the second now takes A — the demoted page — and C stays.
+    MqPolicy mq(3, /*lifetime=*/10);
+    prefix(mq);
+    EXPECT_FALSE(access(mq, 4, 12));  // C: demotes A, evicts D
+    EXPECT_FALSE(access(mq, 5, 13));  // E: evicts the demoted A
+    EXPECT_TRUE(access(mq, 4, 13)) << "C must survive past the boundary";
+    EXPECT_FALSE(access(mq, 1, 14)) << "A was demoted and evicted";
   }
 }
 

@@ -1,0 +1,274 @@
+#include "server/cache_server.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/trace.h"
+#include "sim/policy_factory.h"
+#include "sim/simulator.h"
+
+namespace clic::server {
+namespace {
+
+// Deterministic in-memory workload: several clients, a skewed page
+// pattern with ~20% writes — the same shape test_sweep uses, kept
+// local so the server tests need no disk or generation.
+Trace MakeSynthetic(const std::string& name, std::uint32_t salt,
+                    std::size_t n, std::size_t num_clients = 2) {
+  Trace trace;
+  trace.name = name;
+  std::vector<HintSetId> hints;
+  for (std::uint32_t c = 0; c < num_clients; ++c) {
+    hints.push_back(trace.hints->Intern(
+        HintVector{static_cast<ClientId>(c), {c + 1, 100 + salt + c}}));
+  }
+  trace.requests.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Request r;
+    r.page = static_cast<PageId>(
+        i % 3 == 0 ? (i * 7919 + salt) % 61 : (i * 104729 + salt) % 509);
+    r.client = static_cast<ClientId>(i % num_clients);
+    r.hint_set = hints[r.client];
+    if (i % 5 == 0) {
+      r.op = OpType::kWrite;
+      r.write_kind =
+          i % 10 == 0 ? WriteKind::kRecovery : WriteKind::kReplacement;
+    }
+    trace.requests.push_back(r);
+  }
+  return trace;
+}
+
+void ExpectSameStats(const CacheStats& a, const CacheStats& b) {
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.read_hits, b.read_hits);
+  EXPECT_EQ(a.write_hits, b.write_hits);
+}
+
+TEST(ShardOfTest, StableAndInRange) {
+  for (std::size_t shards : {1u, 2u, 4u, 7u}) {
+    for (PageId page = 0; page < 1000; ++page) {
+      const std::size_t s = ShardOf(page, shards);
+      EXPECT_LT(s, shards);
+      EXPECT_EQ(s, ShardOf(page, shards)) << "must be a pure function";
+    }
+  }
+  // All pages land on the single shard.
+  EXPECT_EQ(ShardOf(12345, 1), 0u);
+}
+
+TEST(ShardOfTest, SpreadsPagesAcrossShards) {
+  std::set<std::size_t> seen;
+  for (PageId page = 0; page < 64; ++page) seen.insert(ShardOf(page, 4));
+  EXPECT_EQ(seen.size(), 4u) << "64 pages should touch all 4 shards";
+}
+
+TEST(PartitionByShardTest, PreservesOrderAndCoversEveryRequest) {
+  const Trace trace = MakeSynthetic("part", 5, 600);
+  const std::vector<Trace> parts = PartitionByShard(trace, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    total += parts[s].size();
+    for (const Request& r : parts[s].requests) {
+      EXPECT_EQ(ShardOf(r.page, 4), s);
+    }
+    // Registry is a deep copy with identical contents: ids unchanged.
+    EXPECT_NE(parts[s].hints.get(), trace.hints.get());
+    ASSERT_EQ(parts[s].hints->size(), trace.hints->size());
+  }
+  EXPECT_EQ(total, trace.size());
+  // Order within a shard is trace order: replaying the partition's
+  // pages against a filtered scan of the original must line up.
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    std::size_t j = 0;
+    for (const Request& r : trace.requests) {
+      if (ShardOf(r.page, 4) != s) continue;
+      ASSERT_LT(j, parts[s].size());
+      EXPECT_EQ(parts[s].requests[j].page, r.page);
+      EXPECT_EQ(parts[s].requests[j].client, r.client);
+      ++j;
+    }
+    EXPECT_EQ(j, parts[s].size());
+  }
+}
+
+// The acceptance criterion: deterministic serve is bit-identical to
+// per-shard sequential Simulate() of the partitioned trace, for shard
+// counts {1, 2, 4} and both LRU and CLIC, across client counts.
+TEST(CacheServerTest, DeterministicModeMatchesPartitionedSimulate) {
+  const Trace trace = MakeSynthetic("det", 11, 4000, 3);
+  ClicOptions clic;
+  clic.window = 500;
+  clic.outqueue_per_page = 2.0;
+  for (PolicyKind policy : {PolicyKind::kLru, PolicyKind::kClic}) {
+    for (std::size_t shards : {1u, 2u, 4u}) {
+      for (std::size_t clients : {1u, 3u}) {
+        SCOPED_TRACE(std::string(PolicyName(policy)) + " shards=" +
+                     std::to_string(shards) + " clients=" +
+                     std::to_string(clients));
+        ServerOptions options;
+        options.shards = shards;
+        options.cache_pages = 96;
+        options.policy = policy;
+        options.clic = clic;
+        options.deterministic = true;
+        LoadOptions load;
+        load.clients = clients;
+        load.batch_size = 17;  // odd size: batch boundaries land anywhere
+        const ServeResult served = ServeTrace(trace, options, load);
+        const SimResult expected = PartitionedSimulate(trace, options);
+        ExpectSameStats(served.total, expected.total);
+        ASSERT_EQ(served.per_client.size(), expected.per_client.size());
+        for (const auto& [client, stats] : expected.per_client) {
+          const auto it = served.per_client.find(client);
+          ASSERT_NE(it, served.per_client.end()) << "client " << client;
+          ExpectSameStats(it->second, stats);
+        }
+        EXPECT_EQ(served.requests, trace.size());
+      }
+    }
+  }
+}
+
+TEST(CacheServerTest, DeterministicRunsAreRepeatable) {
+  const Trace trace = MakeSynthetic("rep", 23, 3000);
+  ServerOptions options;
+  options.shards = 2;
+  options.cache_pages = 64;
+  options.policy = PolicyKind::kClic;
+  options.clic.window = 400;
+  options.deterministic = true;
+  LoadOptions load;
+  load.clients = 2;
+  load.batch_size = 64;
+  const ServeResult a = ServeTrace(trace, options, load);
+  const ServeResult b = ServeTrace(trace, options, load);
+  ExpectSameStats(a.total, b.total);
+}
+
+// Concurrent mode can interleave shard streams any way the scheduler
+// likes, but it must never lose or duplicate a request, and per-client
+// read/write *counts* (not hits) are order-independent.
+TEST(CacheServerTest, ConcurrentModeAppliesEveryRequestExactlyOnce) {
+  const Trace trace = MakeSynthetic("conc", 31, 6000, 4);
+  ServerOptions options;
+  options.shards = 4;
+  options.cache_pages = 96;
+  options.policy = PolicyKind::kLru;
+  options.max_consumers = 3;
+  LoadOptions load;
+  load.clients = 4;
+  load.batch_size = 33;
+  const ServeResult served = ServeTrace(trace, options, load);
+  EXPECT_EQ(served.requests, trace.size());
+  // Request composition matches the trace exactly.
+  std::uint64_t reads = 0, writes = 0;
+  std::map<ClientId, std::uint64_t> per_client;
+  for (const Request& r : trace.requests) {
+    (r.op == OpType::kRead ? reads : writes) += 1;
+    per_client[r.client] += 1;
+  }
+  EXPECT_EQ(served.total.reads, reads);
+  EXPECT_EQ(served.total.writes, writes);
+  ASSERT_EQ(served.per_client.size(), per_client.size());
+  for (const auto& [client, count] : per_client) {
+    const auto it = served.per_client.find(client);
+    ASSERT_NE(it, served.per_client.end());
+    EXPECT_EQ(it->second.reads + it->second.writes, count);
+  }
+  // Hits can differ from the sequential order but never exceed accesses.
+  EXPECT_LE(served.total.read_hits, served.total.reads);
+  EXPECT_LE(served.total.write_hits, served.total.writes);
+  EXPECT_GE(served.throughput_rps, 0.0);
+  EXPECT_LE(served.p50_us, served.p99_us);
+}
+
+TEST(CacheServerTest, MoreClientsThanRequestsAndOversizedBatches) {
+  const Trace trace = MakeSynthetic("tiny", 41, 5);
+  ServerOptions options;
+  options.shards = 2;
+  options.cache_pages = 8;
+  options.deterministic = true;
+  LoadOptions load;
+  load.clients = 9;  // most clients get an empty chunk
+  load.batch_size = 1000;
+  const ServeResult served = ServeTrace(trace, options, load);
+  EXPECT_EQ(served.requests, trace.size());
+  const SimResult expected = PartitionedSimulate(trace, options);
+  ExpectSameStats(served.total, expected.total);
+}
+
+// PartitionedSimulate is the shared ground truth for --verify and the
+// determinism tests; its budget cap must mirror ServeTrace's.
+TEST(PartitionedSimulateTest, HonorsRequestBudget) {
+  const Trace trace = MakeSynthetic("budget", 7, 1000);
+  ServerOptions options;
+  options.shards = 2;
+  options.cache_pages = 32;
+  const SimResult capped = PartitionedSimulate(trace, options, 300);
+  EXPECT_EQ(capped.total.reads + capped.total.writes, 300u);
+  const SimResult full = PartitionedSimulate(trace, options);
+  EXPECT_EQ(full.total.reads + full.total.writes, trace.size());
+}
+
+TEST(CacheServerTest, RejectsUnusableConfigurations) {
+  const Trace trace = MakeSynthetic("bad", 1, 10);
+  ServerOptions options;
+  options.cache_pages = 8;
+  LoadOptions load;
+
+  ServerOptions opt_policy = options;
+  opt_policy.policy = PolicyKind::kOpt;
+  EXPECT_THROW(ServeTrace(trace, opt_policy, load), std::invalid_argument);
+
+  ServerOptions no_shards = options;
+  no_shards.shards = 0;
+  EXPECT_THROW(ServeTrace(trace, no_shards, load), std::invalid_argument);
+
+  LoadOptions no_clients = load;
+  no_clients.clients = 0;
+  EXPECT_THROW(ServeTrace(trace, options, no_clients), std::invalid_argument);
+
+  LoadOptions no_batch = load;
+  no_batch.batch_size = 0;
+  EXPECT_THROW(ServeTrace(trace, options, no_batch), std::invalid_argument);
+
+  ServerOptions det = options;
+  det.deterministic = true;
+  LoadOptions timed = load;
+  timed.duration_seconds = 0.5;
+  EXPECT_THROW(ServeTrace(trace, det, timed), std::invalid_argument);
+}
+
+TEST(CacheServerTest, DurationModeLoopsTheChunkAndStops) {
+  const Trace trace = MakeSynthetic("timed", 3, 500);
+  ServerOptions options;
+  options.shards = 2;
+  options.cache_pages = 32;
+  LoadOptions load;
+  load.clients = 2;
+  load.batch_size = 50;
+  load.duration_seconds = 0.05;
+  const ServeResult served = ServeTrace(trace, options, load);
+  // At least one full pass of each chunk is guaranteed (the duration
+  // check sits at batch boundaries), and the run must terminate.
+  EXPECT_GE(served.requests, trace.size());
+  EXPECT_GT(served.wall_seconds, 0.0);
+}
+
+TEST(CacheServerTest, ShardCachePagesSplitsBudget) {
+  EXPECT_EQ(ShardCachePages(12'000, 4), 3'000u);
+  EXPECT_EQ(ShardCachePages(5, 8), 1u);   // floor of one page per shard
+  EXPECT_EQ(ShardCachePages(0, 1), 1u);
+  EXPECT_EQ(ShardCachePages(7, 2), 3u);
+}
+
+}  // namespace
+}  // namespace clic::server

@@ -224,6 +224,52 @@ TEST(SweepFormatTest, CsvRowMatchesHeaderShape) {
   EXPECT_NE(line.find("0=60:0:30:8;1=40:0:10:2"), std::string::npos) << line;
 }
 
+TEST(SweepFormatTest, CsvFieldAppliesRfc4180Quoting) {
+  EXPECT_EQ(CsvField("plain_name"), "plain_name");
+  EXPECT_EQ(CsvField(""), "");
+  EXPECT_EQ(CsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvField("line\nbreak"), "\"line\nbreak\"");
+}
+
+// Regression: a trace name containing a comma or quote used to be
+// emitted raw, shifting every later column of the row.
+TEST(SweepFormatTest, CsvRowSurvivesHostileTraceName) {
+  SweepRow row;
+  row.point.trace = "evil,\"trace\"";
+  row.point.policy = PolicyKind::kLru;
+  row.point.cache_pages = 8;
+  row.result.total = {4, 0, 2, 0};
+  const std::string line = CsvRow(row);
+  EXPECT_EQ(line.rfind("\"evil,\"\"trace\"\"\",LRU,8,4,4,0,2,0,", 0), 0u)
+      << line;
+  // Commas outside quoted fields must match the header's column count.
+  auto unquoted_commas = [](const std::string& s) {
+    std::size_t n = 0;
+    bool quoted = false;
+    for (char c : s) {
+      if (c == '"') quoted = !quoted;
+      n += !quoted && c == ',';
+    }
+    return n;
+  };
+  auto plain_commas = [](const std::string& s) {
+    std::size_t n = 0;
+    for (char c : s) n += c == ',';
+    return n;
+  };
+  EXPECT_EQ(unquoted_commas(line), plain_commas(CsvHeader()));
+}
+
+TEST(SweepFormatTest, JsonEscapesHostileTraceName) {
+  SweepRow row;
+  row.point.trace = "quo\"te\\back";
+  row.point.policy = PolicyKind::kLru;
+  const std::string json = JsonRow(row);
+  EXPECT_NE(json.find("\"trace\":\"quo\\\"te\\\\back\""), std::string::npos)
+      << json;
+}
+
 TEST(SweepFormatTest, JsonRowCarriesAllFields) {
   SweepRow row;
   row.point.trace = "synthB";

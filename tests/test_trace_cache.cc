@@ -127,6 +127,43 @@ TEST(TraceCacheTest, CollectsStaleTempFilesButSparesFreshOnes) {
       << "fresh temp file must not be disturbed";
 }
 
+// The age threshold is the whole point of the collector: a *live*
+// racing writer's temp file (another bench process mid-SaveTrace) is
+// seconds old and must survive; only genuinely orphaned files go.
+TEST(TraceCacheTest, CollectStaleTempFilesHonorsTheAgeThreshold) {
+  const std::string dir = FreshDir("tmpage");
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  auto touch_with_age = [&](const std::string& name, std::time_t age) {
+    const std::string path = dir + "/" + name;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("x", f);
+    std::fclose(f);
+    if (age > 0) {
+      const std::time_t then = std::time(nullptr) - age;
+      const struct utimbuf times = {then, then};
+      ASSERT_EQ(::utime(path.c_str(), &times), 0);
+    }
+  };
+  touch_with_age("a.trc.tmp.1.0", 0);  // just written: a live writer
+  touch_with_age("b.trc.tmp.2.0", kStaleTempFileAgeSeconds - 30);  // young
+  touch_with_age("c.trc.tmp.3.0", kStaleTempFileAgeSeconds + 60);  // orphan
+  touch_with_age("d_not_a_temp.trc", kStaleTempFileAgeSeconds + 60);
+
+  EXPECT_EQ(CollectStaleTempFiles(dir), 1u) << "only the old orphan goes";
+
+  struct stat st{};
+  EXPECT_EQ(::stat((dir + "/a.trc.tmp.1.0").c_str(), &st), 0);
+  EXPECT_EQ(::stat((dir + "/b.trc.tmp.2.0").c_str(), &st), 0);
+  EXPECT_NE(::stat((dir + "/c.trc.tmp.3.0").c_str(), &st), 0);
+  // Non-temp files are never candidates, however old.
+  EXPECT_EQ(::stat((dir + "/d_not_a_temp.trc").c_str(), &st), 0);
+
+  // Idempotent: nothing stale remains.
+  EXPECT_EQ(CollectStaleTempFiles(dir), 0u);
+  EXPECT_EQ(CollectStaleTempFiles(dir + "/no_such_dir"), 0u);
+}
+
 TEST(TraceCacheDeathTest, UnknownTraceNameExits) {
   TraceCache cache(FreshDir("unknown"), kCap);
   EXPECT_EXIT(cache.Get("NO_SUCH_TRACE"), ::testing::ExitedWithCode(1),

@@ -124,5 +124,44 @@ TEST(InterleaveTest, UnevenSourcesDrainCompletely) {
   }
 }
 
+TEST(InterleaveTest, EmptySourceListYieldsEmptyTrace) {
+  const Trace merged = Interleave("empty", {});
+  EXPECT_EQ(merged.size(), 0u);
+  EXPECT_EQ(merged.hints->size(), 0u);
+  EXPECT_EQ(merged.name, "empty");
+}
+
+TEST(InterleaveTest, ZeroLengthSourceContributesNothingButKeepsIndices) {
+  Trace empty;
+  empty.name = "zero";
+  const Trace full = TwoHintTrace("full", 10);
+  const Trace merged = Interleave("m", {&empty, &full});
+  ASSERT_EQ(merged.size(), full.size());
+  // The zero-length source still occupies client slot 0, so every
+  // surviving request is tagged with its source index 1 and the
+  // original order of the non-empty source is preserved.
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged.requests[i].client, 1);
+    EXPECT_EQ(merged.requests[i].page, full.requests[i].page);
+  }
+}
+
+TEST(InterleaveTest, HeavilyUnequalLengthsKeepRoundRobinTailOrder) {
+  Trace one = TwoHintTrace("one", 0);
+  one.requests.resize(1);
+  const Trace five = TwoHintTrace("five", 200);  // 6 requests
+  const Trace merged = Interleave("m", {&one, &five});
+  ASSERT_EQ(merged.size(), 1 + five.size());
+  // Round 1 takes one request from each source; after the short source
+  // is exhausted every later round takes only from the long one, in
+  // its original order.
+  EXPECT_EQ(merged.requests[0].client, 0);
+  EXPECT_EQ(merged.requests[0].page, one.requests[0].page);
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_EQ(merged.requests[i].client, 1);
+    EXPECT_EQ(merged.requests[i].page, five.requests[i - 1].page);
+  }
+}
+
 }  // namespace
 }  // namespace clic
