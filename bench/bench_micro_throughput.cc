@@ -2,6 +2,7 @@
 // the Space-Saving tracker. These bound the overhead the paper argues is
 // "small" (constant expected time per request, Section 4) and support the
 // claim that CLIC's adaptivity is cheap.
+#include <chrono>
 #include <vector>
 
 #include "bench_util.h"
@@ -12,40 +13,16 @@
 namespace clic::bench {
 namespace {
 
-Trace SyntheticTrace(std::size_t n) {
-  Trace trace;
-  Rng rng(0xBEEF);
-  ZipfGenerator zipf(100'000, 0.9);
-  std::vector<HintSetId> hints;
-  for (std::uint32_t i = 0; i < 64; ++i) {
-    hints.push_back(trace.hints->Intern(HintVector{0, {i}}));
-  }
-  trace.requests.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    Request r;
-    r.page = zipf(rng);
-    r.hint_set = hints[r.page % hints.size()];
-    if (rng.Chance(0.3)) {
-      r.op = OpType::kWrite;
-      r.write_kind =
-          rng.Chance(0.5) ? WriteKind::kReplacement : WriteKind::kRecovery;
-    }
-    trace.requests.push_back(r);
-  }
-  return trace;
-}
-
-const Trace& SharedSynthetic() {
-  static const Trace trace = SyntheticTrace(1'000'000);
-  return trace;
-}
-
-void PolicyThroughput(benchmark::State& state, PolicyKind kind) {
-  const Trace& trace = SharedSynthetic();
+void PolicyThroughput(benchmark::State& state, PolicyKind kind,
+                      const std::string& name) {
+  const Trace& trace = MicroSyntheticTrace();
+  const auto t0 = std::chrono::steady_clock::now();
   for (auto _ : state) {
     auto policy = MakePolicy(kind, 16'384, &trace, PaperClicOptions());
     benchmark::DoNotOptimize(Simulate(trace, *policy));
   }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - t0;
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(trace.size()));
   // requests/sec, the guardrail number bench/README.md tracks per policy.
@@ -53,6 +30,17 @@ void PolicyThroughput(benchmark::State& state, PolicyKind kind) {
       static_cast<double>(state.iterations()) *
           static_cast<double>(trace.size()),
       benchmark::Counter::kIsRate);
+  if (elapsed.count() > 0.0) {
+    BenchJsonRow row;
+    row.bench = name;
+    row.requests_per_sec = static_cast<double>(state.iterations()) *
+                           static_cast<double>(trace.size()) /
+                           elapsed.count();
+    row.batch = kSimulateBatch;  // Simulate's AccessBatch block size
+    row.requests = trace.size();
+    row.mode = "simulate";
+    AppendBenchJson(row);
+  }
 }
 
 void RegisterPolicies() {
@@ -64,8 +52,8 @@ void RegisterPolicies() {
         std::string("Micro/requests_per_second/") +
         std::string(PolicyName(kind));
     benchmark::RegisterBenchmark(name.c_str(),
-                                 [kind](benchmark::State& s) {
-                                   PolicyThroughput(s, kind);
+                                 [kind, name](benchmark::State& s) {
+                                   PolicyThroughput(s, kind, name);
                                  })
         ->Unit(benchmark::kMillisecond);
   }

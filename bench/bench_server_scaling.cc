@@ -17,7 +17,8 @@
 namespace clic::bench {
 namespace {
 
-void ServerScaling(benchmark::State& state, PolicyKind kind) {
+void ServerScaling(benchmark::State& state, PolicyKind kind,
+                   const std::string& name) {
   const std::size_t shards = static_cast<std::size_t>(state.range(0));
   const std::size_t clients = static_cast<std::size_t>(state.range(1));
   const Trace& trace = GetTrace("DB2_C60");
@@ -45,6 +46,17 @@ void ServerScaling(benchmark::State& state, PolicyKind kind) {
   state.counters["p50_us"] = result.p50_us;
   state.counters["p99_us"] = result.p99_us;
   state.counters["read_hit_ratio"] = result.total.ReadHitRatio();
+  // Consumer-side batching efficiency: how much of the submitted batch
+  // size survives hash-sharding (requests per shard-lock acquisition).
+  state.counters["avg_drained_batch"] = result.avg_drained_batch;
+
+  BenchJsonRow row;
+  row.bench = name;
+  row.requests_per_sec = result.throughput_rps;
+  row.batch = static_cast<std::uint64_t>(result.avg_drained_batch);
+  row.requests = result.requests;
+  row.mode = "server";
+  AppendBenchJson(row);
 }
 
 void RegisterServerScaling() {
@@ -56,8 +68,8 @@ void RegisterServerScaling() {
                                  std::to_string(shards) + "/clients:" +
                                  std::to_string(clients);
         benchmark::RegisterBenchmark(name.c_str(),
-                                     [kind](benchmark::State& s) {
-                                       ServerScaling(s, kind);
+                                     [kind, name](benchmark::State& s) {
+                                       ServerScaling(s, kind, name);
                                      })
             ->Args({shards, clients})
             ->Iterations(1)

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/hint_tree.h"
+#include "policies/common.h"
 
 namespace clic {
 
@@ -55,9 +56,18 @@ void ClicPolicy::EnsureHint(HintSetId h) {
   hints_.acc_s.resize(n, 0.0);
   hints_.priority.resize(n, 0.0);
   hints_.rank.resize(n, 0);
+  touched_flag_.resize(n, 0);
+  acc_window_.resize(n, windows_completed_);
+  pos_index_.resize(n, kInvalidIndex);
+  eligible_.resize(n, 0);
+  win_r_.resize(n, 0.0);
+  win_s_.resize(n, 0.0);
 }
 
 void ClicPolicy::FlushArea(HintSetId h, SeqNum now) {
+  // Every cur / annotation change flows through here, so flushing also
+  // registers the hint set as an incremental-window candidate.
+  Touch(h);
   hints_.area[h] += static_cast<std::uint64_t>(hints_.cur[h]) *
                     (now - hints_.last_change[h]);
   hints_.last_change[h] = now;
@@ -207,19 +217,87 @@ void ClicPolicy::InsertCached(std::uint32_t slot_index, SeqNum now) {
 
 bool ClicPolicy::Access(const Request& r, SeqNum seq) {
   if (seq >= next_window_end_) EndWindow(next_window_end_);
+  return AccessOne(r, seq);
+}
+
+template <int kTracker>
+void ClicPolicy::RunBatchSpan(const Request* reqs, SeqNum first_seq,
+                              std::size_t begin, std::size_t end,
+                              std::size_t n, std::uint8_t* hits_out) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (i + kBatchPrefetchDistance < n) {
+      page_table_.Prefetch(reqs[i + kBatchPrefetchDistance].page);
+    }
+    if (i + kBatchNodeDistance < n) {
+      // The table slot prefetched kBatchPrefetchDistance ago is warm;
+      // chase it now so the 28-byte Slot is warm too when its request
+      // arrives. Purely advisory — an intervening remap only wastes the
+      // prefetch, never a decision.
+      const std::uint32_t ahead =
+          page_table_.Get(reqs[i + kBatchNodeDistance].page);
+      if (ahead != kInvalidIndex) __builtin_prefetch(&slots_[ahead], 0, 1);
+    }
+    hits_out[i] = AccessOneT<kTracker>(reqs[i], first_seq + i);
+  }
+}
+
+void ClicPolicy::AccessBatch(const Request* reqs, SeqNum first_seq,
+                             std::size_t n, std::uint8_t* hits_out) {
+  std::size_t i = 0;
+  while (i < n) {
+    const SeqNum seq = first_seq + i;
+    if (seq >= next_window_end_) {
+      EndWindow(next_window_end_);
+      if (seq >= next_window_end_) {
+        // Degenerate seq jump (more than one window between consecutive
+        // requests): fall back to the scalar path's one-EndWindow-per-
+        // access behaviour for this request.
+        hits_out[i] = AccessOne(reqs[i], seq);
+        ++i;
+        continue;
+      }
+    }
+    // No window can close before `run`, so the inner span needs no
+    // boundary check at all — the per-request branch is hoisted here,
+    // and the tracker dispatch happens once per span instead of per
+    // request.
+    const std::size_t run =
+        i + static_cast<std::size_t>(
+                std::min<std::uint64_t>(n - i, next_window_end_ - seq));
+    if (space_saving_) {
+      RunBatchSpan<1>(reqs, first_seq, i, run, n, hits_out);
+    } else if (lossy_counting_) {
+      RunBatchSpan<2>(reqs, first_seq, i, run, n, hits_out);
+    } else {
+      RunBatchSpan<0>(reqs, first_seq, i, run, n, hits_out);
+    }
+    i = run;
+  }
+}
+
+inline bool ClicPolicy::AccessOne(const Request& r, SeqNum seq) {
+  if (space_saving_) return AccessOneT<1>(r, seq);
+  if (lossy_counting_) return AccessOneT<2>(r, seq);
+  return AccessOneT<0>(r, seq);
+}
+
+template <int kTracker>
+inline bool ClicPolicy::AccessOneT(const Request& r, SeqNum seq) {
   last_seq_ = seq;
   EnsureHint(r.hint_set);
-  ++hints_.refs_w[r.hint_set];
-  if (space_saving_) {
+  if (hints_.refs_w[r.hint_set]++ == 0) Touch(r.hint_set);
+  if constexpr (kTracker == 1) {
     space_saving_->Offer(r.hint_set);
-  } else if (lossy_counting_) {
+  } else if constexpr (kTracker == 2) {
     lossy_counting_->Offer(r.hint_set);
   }
 
   const std::uint32_t si = page_table_.Get(r.page);
   if (si != kInvalidIndex) {
     Slot& s = slots_[si];
-    // Re-reference: credit the hint set that annotated the page.
+    // Re-reference: credit the hint set that annotated the page. A
+    // tracked slot means cur[s.hint] > 0, which guarantees s.hint is
+    // already a window candidate (see Touch invariant) — no Touch here.
     ++hints_.rerefs_w[s.hint];
     if (s.state == SlotState::kCached) {
       const std::uint32_t old_rank = hints_.rank[s.hint];
@@ -254,54 +332,115 @@ bool ClicPolicy::Access(const Request& r, SeqNum seq) {
   return false;
 }
 
-// ---- window analysis (Equation 2) -----------------------------------------
+// ---- window analysis (Equation 2, incremental) ----------------------------
+//
+// The harvest / decay / rank loops visit only this window's candidates
+// (the touched_ list) instead of every hint set ever seen. Correctness
+// rests on two facts:
+//   1. A hint set outside touched_ has refs_w == rerefs_w == area == 0
+//      and cur == 0 (Touch invariant + cur>0 reseed), so its window
+//      statistics are exactly the post-reset state — skipping it is a
+//      no-op.
+//   2. An untouched hint set's Equation-2 ratio is unchanged by the
+//      decay recurrence (both accumulators scale by the same factor),
+//      so its priority — and hence its rank order relative to other
+//      unchanged hints — carries forward. The two cases where the ratio
+//      does change (approximate trackers drop unreferenced hints;
+//      decay == 0 discards history) are handled by sweeping the
+//      maintained positive set. Pending decay scalings are applied
+//      lazily by FoldDecay, with a periodic full fold keeping every
+//      *accumulator* bit-identical to the eager per-window recurrence.
+//      The carried *priority* fl(a/b) of an untouched hint can differ
+//      from an eagerly recomputed fl(fl(d*a)/fl(d*b)) by an ulp when
+//      decay is not a power of two (independent rounding of the two
+//      products); it is the mathematically exact value of the same
+//      ratio, but a rank sort could in principle order two
+//      ulp-adjacent priorities differently than an eager
+//      implementation would.
+
+void ClicPolicy::FoldDecay(HintSetId h, std::uint64_t upto_window) {
+  std::uint64_t pending = upto_window - acc_window_[h];
+  acc_window_[h] = upto_window;
+  if (pending == 0 || options_.decay == 1.0) return;
+  // One multiplication per skipped window — identical rounding to the
+  // eager recurrence acc = 0 + decay * acc. Bounded by kDecayFoldPeriod.
+  for (; pending > 0; --pending) {
+    hints_.acc_r[h] *= options_.decay;
+    hints_.acc_s[h] *= options_.decay;
+  }
+}
+
+void ClicPolicy::SetPriority(HintSetId h, double priority) {
+  hints_.priority[h] = priority;
+  const bool in_positive = pos_index_[h] != kInvalidIndex;
+  if (priority > 0.0) {
+    if (!in_positive) {
+      pos_index_[h] = static_cast<std::uint32_t>(positive_.size());
+      positive_.push_back(h);
+    }
+  } else if (in_positive) {
+    const std::uint32_t idx = pos_index_[h];
+    const HintSetId last = positive_.back();
+    positive_[idx] = last;
+    pos_index_[last] = idx;
+    positive_.pop_back();
+    pos_index_[h] = kInvalidIndex;
+    hints_.rank[h] = 0;  // leaves the ranked set; rank 0 = evict first
+  }
+}
 
 void ClicPolicy::EndWindow(SeqNum end) {
   const std::uint64_t length = end - window_start_;
   next_window_end_ = end + options_.window;
   if (length == 0) return;
-  const std::size_t n = hints_.size();
-  for (std::size_t h = 0; h < n; ++h) {
-    if (hints_.cur[h]) FlushArea(static_cast<HintSetId>(h), end);
+
+  // Candidate order must match the ascending full-scan order the eager
+  // analysis used: generalization class ids depend on sample order.
+  std::sort(touched_.begin(), touched_.end());
+
+  for (HintSetId h : touched_) {
+    if (hints_.cur[h]) FlushArea(h, end);
   }
 
   // Which hint sets get priorities at all (Section 5 top-k filtering).
+  // Tracker items were all offered this window, so they are candidates;
+  // eligible_ bits are cleared again in the reset loop below.
   const bool exact = options_.tracker == TrackerKind::kExact;
-  std::vector<std::uint8_t> eligible;
+  const std::size_t n = hints_.size();
   if (!exact) {
-    eligible.assign(n, 0);
     if (space_saving_) {
       for (const auto& e : space_saving_->Items()) {
-        if (e.item < n) eligible[e.item] = 1;
+        if (e.item < n) eligible_[e.item] = 1;
       }
     } else if (lossy_counting_) {
       std::size_t taken = 0;
       for (const auto& e : lossy_counting_->Items()) {
         if (taken++ >= options_.top_k) break;
-        if (e.item < n) eligible[e.item] = 1;
+        if (e.item < n) eligible_[e.item] = 1;
       }
     }
   }
 
   // Per-hint window statistics: R = re-references credited to the hint
-  // set, S = time-averaged number of tracked pages it annotated.
-  std::vector<double> win_r(n), win_s(n);
-  for (std::size_t h = 0; h < n; ++h) {
-    win_r[h] = static_cast<double>(hints_.rerefs_w[h]);
-    win_s[h] = static_cast<double>(hints_.area[h]) /
-               static_cast<double>(length);
+  // set, S = time-averaged number of tracked pages it annotated. Only
+  // candidate entries of the persistent scratch are written (and read).
+  for (HintSetId h : touched_) {
+    win_r_[h] = static_cast<double>(hints_.rerefs_w[h]);
+    win_s_[h] = static_cast<double>(hints_.area[h]) /
+                static_cast<double>(length);
   }
 
   if (options_.generalize && options_.hint_space) {
     // Pool statistics over decision-tree classes; every member of a
     // class shares the pooled Equation-2 estimate, and top-k filtering
-    // applies to classes instead of raw hint sets.
+    // applies to classes instead of raw hint sets. Samples (refs_w > 0)
+    // are a subset of the candidates.
     std::vector<HintSample> samples;
-    samples.reserve(n);
-    for (std::size_t h = 0; h < n; ++h) {
+    samples.reserve(touched_.size());
+    for (HintSetId h : touched_) {
       if (hints_.refs_w[h] == 0) continue;
       HintSample s;
-      s.hint = static_cast<HintSetId>(h);
+      s.hint = h;
       s.weight = hints_.refs_w[h];
       s.rate = static_cast<double>(hints_.rerefs_w[h]) /
                static_cast<double>(hints_.refs_w[h]);
@@ -313,8 +452,8 @@ void ClicPolicy::EndWindow(SeqNum end) {
     std::vector<std::uint64_t> class_refs(classes, 0);
     for (const HintSample& s : samples) {
       const std::uint32_t c = tree.ClassOf(s.hint);
-      class_r[c] += win_r[s.hint];
-      class_s[c] += win_s[s.hint];
+      class_r[c] += win_r_[s.hint];
+      class_s[c] += win_s_[s.hint];
       class_refs[c] += s.weight;
     }
     std::vector<std::uint8_t> class_ok(classes, 1);
@@ -331,50 +470,90 @@ void ClicPolicy::EndWindow(SeqNum end) {
       class_ok.assign(classes, 0);
       for (std::size_t i = 0; i < options_.top_k; ++i) class_ok[order[i]] = 1;
     }
-    if (!exact) eligible.assign(n, 0);
+    if (!exact) {
+      for (HintSetId h : touched_) eligible_[h] = 0;
+    }
     for (const HintSample& s : samples) {
       const std::uint32_t c = tree.ClassOf(s.hint);
-      win_r[s.hint] = class_r[c];
-      win_s[s.hint] = class_s[c];
-      if (!exact && class_ok[c]) eligible[s.hint] = 1;
+      win_r_[s.hint] = class_r[c];
+      win_s_[s.hint] = class_s[c];
+      if (!exact && class_ok[c]) eligible_[s.hint] = 1;
     }
   }
 
-  for (std::size_t h = 0; h < n; ++h) {
-    hints_.acc_r[h] = win_r[h] + options_.decay * hints_.acc_r[h];
-    hints_.acc_s[h] = win_s[h] + options_.decay * hints_.acc_s[h];
-    const bool ok = exact || eligible[h];
-    hints_.priority[h] =
-        (ok && hints_.acc_s[h] > 0.0) ? hints_.acc_r[h] / hints_.acc_s[h]
-                                      : 0.0;
+  // Fold pending decay, blend this window in, and recompute priorities
+  // — candidates only.
+  const double decay = options_.decay;
+  const std::uint64_t this_window = windows_completed_ + 1;
+  for (HintSetId h : touched_) {
+    FoldDecay(h, windows_completed_);
+    hints_.acc_r[h] = win_r_[h] + decay * hints_.acc_r[h];
+    hints_.acc_s[h] = win_s_[h] + decay * hints_.acc_s[h];
+    acc_window_[h] = this_window;
+    const bool ok = exact || eligible_[h];
+    SetPriority(h, (ok && hints_.acc_s[h] > 0.0)
+                       ? hints_.acc_r[h] / hints_.acc_s[h]
+                       : 0.0);
+  }
+
+  // Untouched hints keep their previous priority (case 2 above) except:
+  // approximate trackers make every unreferenced hint ineligible, and
+  // decay == 0 zeroes its history. Both zero exactly the untouched
+  // members of the positive set. (Downward loop: SetPriority(., 0)
+  // swap-removes, moving an already-visited tail element into slot i.)
+  if (!exact || decay == 0.0) {
+    for (std::size_t i = positive_.size(); i-- > 0;) {
+      const HintSetId h = positive_[i];
+      if (!touched_flag_[h]) SetPriority(h, 0.0);
+    }
   }
 
   // Rank hint sets: rank 0 collects everything with zero priority (those
   // pages are evicted first, in global-LRU order); positive priorities
-  // get ranks in ascending order.
-  std::vector<std::pair<double, HintSetId>> positive;
-  for (std::size_t h = 0; h < n; ++h) {
-    if (hints_.priority[h] > 0.0) {
-      positive.emplace_back(hints_.priority[h], static_cast<HintSetId>(h));
-    }
-    hints_.rank[h] = 0;
+  // get ranks in ascending order. positive_ is exactly the set the
+  // full scan would have collected; sorting (priority, id) pairs makes
+  // the order independent of how the set was accumulated.
+  rank_scratch_.clear();
+  rank_scratch_.reserve(positive_.size());
+  for (HintSetId h : positive_) {
+    rank_scratch_.emplace_back(hints_.priority[h], h);
   }
-  std::sort(positive.begin(), positive.end());
-  num_ranks_ = static_cast<std::uint32_t>(positive.size()) + 1;
-  for (std::uint32_t i = 0; i < positive.size(); ++i) {
-    hints_.rank[positive[i].second] = i + 1;
+  std::sort(rank_scratch_.begin(), rank_scratch_.end());
+  num_ranks_ = static_cast<std::uint32_t>(rank_scratch_.size()) + 1;
+  for (std::uint32_t i = 0; i < rank_scratch_.size(); ++i) {
+    hints_.rank[rank_scratch_[i].second] = i + 1;
   }
   RebuildBuckets();
 
-  // Reset the window.
-  std::fill(hints_.refs_w.begin(), hints_.refs_w.end(), 0);
-  std::fill(hints_.rerefs_w.begin(), hints_.rerefs_w.end(), 0);
-  std::fill(hints_.area.begin(), hints_.area.end(), 0);
-  std::fill(hints_.last_change.begin(), hints_.last_change.end(), end);
+  // Reset candidates' window statistics and reseed the next window's
+  // candidate list with hint sets that still annotate tracked pages
+  // (their area keeps accruing with no further event).
+  std::size_t keep = 0;
+  for (HintSetId h : touched_) {
+    hints_.refs_w[h] = 0;
+    hints_.rerefs_w[h] = 0;
+    hints_.area[h] = 0;
+    hints_.last_change[h] = end;
+    eligible_[h] = 0;
+    if (hints_.cur[h]) {
+      touched_[keep++] = h;
+    } else {
+      touched_flag_[h] = 0;
+    }
+  }
+  touched_.resize(keep);
   if (space_saving_) space_saving_->Clear();
   if (lossy_counting_) lossy_counting_->Clear();
   window_start_ = end;
   ++windows_completed_;
+
+  // Periodic full fold: bounds the lazy fold's per-hint backlog and
+  // keeps long-idle accumulators numerically identical to eager decay.
+  if (decay != 1.0 && windows_completed_ % kDecayFoldPeriod == 0) {
+    for (std::size_t h = 0; h < n; ++h) {
+      FoldDecay(static_cast<HintSetId>(h), windows_completed_);
+    }
+  }
 }
 
 void ClicPolicy::RebuildBuckets() {
@@ -397,7 +576,11 @@ std::vector<std::pair<HintSetId, double>> ClicPolicy::Priorities() const {
   const std::size_t n = hints_.size();
   out.reserve(n);
   for (std::size_t h = 0; h < n; ++h) {
-    if (hints_.acc_s[h] > 0.0 || hints_.acc_r[h] > 0.0) {
+    // Accumulators fold lazily; a positive decay never changes whether
+    // they are zero, but decay == 0 zeroes any hint with folds pending.
+    const bool stale_zero =
+        options_.decay == 0.0 && acc_window_[h] != windows_completed_;
+    if (!stale_zero && (hints_.acc_s[h] > 0.0 || hints_.acc_r[h] > 0.0)) {
       out.emplace_back(static_cast<HintSetId>(h), hints_.priority[h]);
     }
   }

@@ -62,6 +62,14 @@ class ClicPolicy : public Policy {
 
   bool Access(const Request& r, SeqNum seq) override;
 
+  /// Batched hot path: window-boundary checks are hoisted out of the
+  /// per-request loop (a batch is split into runs that provably end
+  /// before the next window close) and upcoming page-table slots are
+  /// software-prefetched. Decisions are bit-identical to sequential
+  /// Access() calls.
+  void AccessBatch(const Request* reqs, SeqNum first_seq, std::size_t n,
+                   std::uint8_t* hits_out) override;
+
   /// Ends the current evaluation window immediately and recomputes all
   /// priorities (used by the figure-3 style one-shot analysis).
   void ForceEndWindow();
@@ -104,6 +112,19 @@ class ClicPolicy : public Policy {
     std::size_t size() const { return priority.size(); }
   };
 
+  bool AccessOne(const Request& r, SeqNum seq);
+  /// AccessOne specialized on the tracker backend (0 = exact, 1 =
+  /// Space-Saving, 2 = Lossy Counting) so the batched run loop carries
+  /// no per-request tracker branches; the scalar path dispatches once
+  /// per request instead.
+  template <int kTracker>
+  bool AccessOneT(const Request& r, SeqNum seq);
+  /// One window-check-free span of a batch, with two-stage software
+  /// prefetch (page-table slot far ahead, the cache slot it points at
+  /// nearer in).
+  template <int kTracker>
+  void RunBatchSpan(const Request* reqs, SeqNum first_seq, std::size_t begin,
+                    std::size_t end, std::size_t n, std::uint8_t* hits_out);
   void EnsureHint(HintSetId h);
   void FlushArea(HintSetId h, SeqNum now);
   void Annotate(Slot& slot, HintSetId hint, SeqNum now);
@@ -112,6 +133,33 @@ class ClicPolicy : public Policy {
   void EvictOne(SeqNum now);
   void InsertCached(std::uint32_t slot_index, SeqNum now);
   std::uint32_t FindVictimRank() const;
+
+  // Incremental window close (see DESIGN.md "CLIC incremental window
+  // invariant"). Touch() registers a hint set as a candidate for this
+  // window's analysis; EndWindow visits only candidates instead of all
+  // known hint sets. Invariant: a hint set is a candidate whenever its
+  // window statistics (refs_w / rerefs_w / area / cur / last_change)
+  // could differ from the post-reset state — maintained by Touch()
+  // calls on first reference and on every FlushArea(), plus the cur>0
+  // reseed at window close (a hint set still annotating tracked pages
+  // accrues area next window without any further event).
+  void Touch(HintSetId h) {
+    if (!touched_flag_[h]) {
+      touched_flag_[h] = 1;
+      touched_.push_back(h);
+    }
+  }
+  /// Applies the decay scalings this hint set skipped while untouched,
+  /// one multiplication per skipped window — bit-identical to the eager
+  /// per-window recurrence acc = 0 + decay * acc.
+  void FoldDecay(HintSetId h, std::uint64_t upto_window);
+  /// Sets the hint's priority and maintains the positive set (hints
+  /// with priority > 0, the only ones that receive non-zero ranks).
+  void SetPriority(HintSetId h, double priority);
+
+  /// Full FoldDecay sweep every this many windows, bounding the lazy
+  /// per-hint fold to at most this many multiplications.
+  static constexpr std::uint64_t kDecayFoldPeriod = 16;
 
   // Intrusive list helpers over slots_.
   void GListPushFront(List& list, std::uint32_t i);
@@ -139,6 +187,17 @@ class ClicPolicy : public Policy {
   std::vector<std::uint64_t> bitmap_;    // non-empty-bucket bits
   std::vector<std::uint64_t> bitmap_summary_;
   std::uint32_t num_ranks_ = 1;
+
+  // Incremental-window state, all indexed by HintSetId (except the
+  // candidate / positive lists themselves).
+  std::vector<HintSetId> touched_;             // this window's candidates
+  std::vector<std::uint8_t> touched_flag_;     // membership in touched_
+  std::vector<std::uint64_t> acc_window_;      // windows folded into acc
+  std::vector<HintSetId> positive_;            // hints with priority > 0
+  std::vector<std::uint32_t> pos_index_;       // position in positive_
+  std::vector<std::uint8_t> eligible_;         // per-window scratch
+  std::vector<double> win_r_, win_s_;          // per-window scratch
+  std::vector<std::pair<double, HintSetId>> rank_scratch_;
 
   SeqNum window_start_ = 0;
   SeqNum next_window_end_;

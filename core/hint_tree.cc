@@ -1,7 +1,6 @@
 #include "core/hint_tree.h"
 
 #include <algorithm>
-#include <map>
 
 namespace clic {
 namespace {
@@ -10,6 +9,27 @@ constexpr std::uint32_t kMissingAttr = 0xFFFFFFFFu;
 
 std::uint32_t AttrAt(const HintVector& v, std::size_t pos) {
   return pos < v.attrs.size() ? v.attrs[pos] : kMissingAttr;
+}
+
+/// (attribute value, member index) pairs — the flat grouping structure
+/// this file uses instead of a map of vectors: one sort, then groups
+/// are contiguous runs of equal .first. Members arrive in ascending
+/// index order (the root set is 0..n and every split preserves relative
+/// order), so a plain pair sort also keeps each run's members in their
+/// original order, exactly as the map-of-vectors grouping did.
+using KeyedMember = std::pair<std::uint32_t, std::uint32_t>;
+
+/// Fills `keyed` with members grouped (sorted) by their value at `pos`.
+void GroupByAttr(const HintRegistry& space,
+                 const std::vector<HintSample>& samples,
+                 const std::vector<std::uint32_t>& members, std::size_t pos,
+                 std::vector<KeyedMember>* keyed) {
+  keyed->clear();
+  keyed->reserve(members.size());
+  for (std::uint32_t m : members) {
+    keyed->emplace_back(AttrAt(space.Get(samples[m].hint), pos), m);
+  }
+  std::sort(keyed->begin(), keyed->end());
 }
 
 /// Weighted variance of the samples' rates.
@@ -30,6 +50,31 @@ double WeightedVariance(const std::vector<HintSample>& samples,
   for (std::uint32_t m : members) {
     const double d = samples[m].rate - mean;
     var += static_cast<double>(samples[m].weight) * d * d;
+  }
+  if (total_weight_out) *total_weight_out = w;
+  return var / w;
+}
+
+/// WeightedVariance over one contiguous run of a keyed grouping.
+double RunVariance(const std::vector<HintSample>& samples,
+                   const KeyedMember* run, std::size_t count,
+                   double* total_weight_out) {
+  double w = 0.0, mean = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const HintSample& s = samples[run[i].second];
+    w += static_cast<double>(s.weight);
+    mean += static_cast<double>(s.weight) * s.rate;
+  }
+  if (w <= 0.0) {
+    if (total_weight_out) *total_weight_out = 0.0;
+    return 0.0;
+  }
+  mean /= w;
+  double var = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const HintSample& s = samples[run[i].second];
+    const double d = s.rate - mean;
+    var += static_cast<double>(s.weight) * d * d;
   }
   if (total_weight_out) *total_weight_out = w;
   return var / w;
@@ -78,21 +123,28 @@ void HintClassTree::Split(const HintRegistry& space,
 
   int best_pos = -1;
   double best_gain = 0.0;
+  std::vector<KeyedMember> keyed;
   for (std::size_t pos = 0; pos < max_attrs; ++pos) {
     if (used_mask & (1ull << pos)) continue;
-    // Group members by the value at this position and compute the
-    // weighted within-group variance.
-    std::map<std::uint32_t, std::vector<std::uint32_t>> groups;
-    for (std::uint32_t m : members) {
-      groups[AttrAt(space.Get(samples[m].hint), pos)].push_back(m);
-    }
-    if (groups.size() <= 1) continue;
+    // Group members by the value at this position (flat sorted pairs;
+    // groups = runs of equal value) and compute the weighted
+    // within-group variance.
+    GroupByAttr(space, samples, members, pos, &keyed);
+    std::size_t groups = 0;
     double within = 0.0;
-    for (auto& [value, group] : groups) {
+    for (std::size_t begin = 0; begin < keyed.size();) {
+      std::size_t end = begin + 1;
+      while (end < keyed.size() && keyed[end].first == keyed[begin].first) {
+        ++end;
+      }
+      ++groups;
       double w = 0.0;
-      const double var = WeightedVariance(samples, group, &w);
+      const double var =
+          RunVariance(samples, keyed.data() + begin, end - begin, &w);
       within += var * w;
+      begin = end;
     }
+    if (groups <= 1) continue;
     within /= total_weight;
     const double gain = (parent_var - within) / parent_var;
     if (gain > best_gain) {
@@ -106,13 +158,24 @@ void HintClassTree::Split(const HintRegistry& space,
     return;
   }
 
-  std::map<std::uint32_t, std::vector<std::uint32_t>> groups;
-  for (std::uint32_t m : members) {
-    groups[AttrAt(space.Get(samples[m].hint), best_pos)].push_back(m);
-  }
-  for (auto& [value, group] : groups) {
+  // Recurse over the winning position's runs in ascending value order
+  // (the order the map-based grouping iterated in).
+  GroupByAttr(space, samples, members, static_cast<std::size_t>(best_pos),
+              &keyed);
+  std::vector<std::uint32_t> group;
+  for (std::size_t begin = 0; begin < keyed.size();) {
+    std::size_t end = begin + 1;
+    while (end < keyed.size() && keyed[end].first == keyed[begin].first) {
+      ++end;
+    }
+    group.clear();
+    group.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      group.push_back(keyed[i].second);
+    }
     Split(space, samples, group, used_mask | (1ull << best_pos), depth + 1,
           params);
+    begin = end;
   }
 }
 

@@ -2,33 +2,65 @@
 // policies, and the CLIC engine.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+
 #include "core/trace.h"
 
 namespace clic {
 
 /// A cache replacement policy simulated over a request trace.
 ///
-/// Access() is the hot path: it is called once per request, must decide
-/// hit vs miss, update internal state, and (for implementations in this
-/// repo) allocate nothing on the heap. `seq` is the 0-based index of the
-/// request in the trace; Simulate() guarantees it increases by exactly 1
-/// per call, which OPT relies on for its next-use oracle.
+/// Access() decides hit vs miss for one request, updates internal
+/// state, and (for implementations in this repo) allocates nothing on
+/// the heap. `seq` is the 0-based index of the request in the trace;
+/// Simulate() guarantees it increases by exactly 1 per call, which OPT
+/// relies on for its next-use oracle.
+///
+/// AccessBatch() is the hot path the replay loops actually use: one
+/// virtual call covers a whole block of requests, so dispatch, window
+/// checks, and stats-array traffic are amortized over the batch.
+/// Batched contract (see DESIGN.md "Batched hot path"):
+///   - `hits_out[i]` is written 1 iff request i was resident before its
+///     access, 0 otherwise — byte-for-byte the same decisions as n
+///     sequential Access(reqs[i], first_seq + i) calls on the same
+///     starting state. The equivalence suite
+///     (tests/test_batch_equivalence.cc) pins this for every policy.
+///   - The caller owns `hits_out` (at least n bytes) and `reqs`; both
+///     must stay valid for the duration of the call only.
+///   - Request i has seq == first_seq + i. Across consecutive batches
+///     the caller keeps seq monotonic exactly as it would across
+///     sequential Access() calls (first_seq' == first_seq + n).
+///   - n == 0 is a no-op.
 ///
 /// Thread ownership: a Policy instance is NOT thread-safe and has no
-/// internal locking. Exactly one thread may be inside Access() at a
-/// time, and implementations may assume their state is never observed
-/// concurrently. The simulator satisfies this trivially (one thread per
-/// policy); the sweep runner builds one private policy per grid point;
-/// the online server (server/cache_server.h) gives each shard its own
-/// policy and serializes every Access() behind that shard's mutex,
-/// asserting the single-entry discipline in debug builds. Any new
-/// caller must provide the same external serialization.
+/// internal locking. Exactly one thread may be inside Access() or
+/// AccessBatch() at a time, and implementations may assume their state
+/// is never observed concurrently. The simulator satisfies this
+/// trivially (one thread per policy); the sweep runner builds one
+/// private policy per grid point; the online server
+/// (server/cache_server.h) gives each shard its own policy and
+/// serializes every batch behind that shard's mutex, asserting the
+/// single-entry discipline in debug builds. Any new caller must provide
+/// the same external serialization.
 class Policy {
  public:
   virtual ~Policy() = default;
 
   /// Returns true iff the page was resident before this access.
   virtual bool Access(const Request& r, SeqNum seq) = 0;
+
+  /// Applies `n` consecutive requests with seqs [first_seq, first_seq+n)
+  /// and records the hit/miss decisions in `hits_out`. The scalar
+  /// default is the semantic reference; every policy in the zoo
+  /// overrides it with a tight loop (hoisted branches, software
+  /// prefetch of upcoming page-table slots, one stats touch per batch).
+  virtual void AccessBatch(const Request* reqs, SeqNum first_seq,
+                           std::size_t n, std::uint8_t* hits_out) {
+    for (std::size_t i = 0; i < n; ++i) {
+      hits_out[i] = Access(reqs[i], first_seq + i) ? 1 : 0;
+    }
+  }
 };
 
 }  // namespace clic

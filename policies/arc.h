@@ -14,6 +14,8 @@ class ArcPolicy : public Policy {
   explicit ArcPolicy(std::size_t cache_pages);
 
   bool Access(const Request& r, SeqNum seq) override;
+  void AccessBatch(const Request* reqs, SeqNum first_seq, std::size_t n,
+                   std::uint8_t* hits_out) override;
 
  private:
   enum class Where : std::uint8_t { kT1, kT2, kB1, kB2 };
@@ -21,6 +23,7 @@ class ArcPolicy : public Policy {
     Where where = Where::kT1;
   };
 
+  bool AccessOne(const Request& r);
   /// The REPLACE subroutine of the paper: demote from T1 or T2 into the
   /// corresponding ghost list according to the target p.
   void Replace(bool hit_in_b2);

@@ -7,7 +7,7 @@ namespace clic {
 ClockPolicy::ClockPolicy(std::size_t cache_pages)
     : frames_(std::max<std::size_t>(1, cache_pages)) {}
 
-bool ClockPolicy::Access(const Request& r, SeqNum /*seq*/) {
+inline bool ClockPolicy::AccessOne(const Request& r) {
   const std::uint32_t slot = table_.Get(r.page);
   if (slot != kInvalidIndex) {
     frames_[slot].referenced = 1;
@@ -30,6 +30,26 @@ bool ClockPolicy::Access(const Request& r, SeqNum /*seq*/) {
   frames_[target].referenced = 1;
   table_.Set(r.page, static_cast<std::uint32_t>(target));
   return false;
+}
+
+bool ClockPolicy::Access(const Request& r, SeqNum /*seq*/) {
+  return AccessOne(r);
+}
+
+void ClockPolicy::AccessBatch(const Request* reqs, SeqNum /*first_seq*/,
+                              std::size_t n, std::uint8_t* hits_out) {
+  const std::size_t main =
+      n > kBatchPrefetchDistance ? n - kBatchPrefetchDistance : 0;
+  std::size_t i = 0;
+  for (; i < main; ++i) {
+    table_.Prefetch(reqs[i + kBatchPrefetchDistance].page);
+    const std::uint32_t ahead = table_.Get(reqs[i + kBatchNodeDistance].page);
+    if (ahead < frames_.size()) __builtin_prefetch(&frames_[ahead], 1, 1);
+    hits_out[i] = AccessOne(reqs[i]);
+  }
+  for (; i < n; ++i) {
+    hits_out[i] = AccessOne(reqs[i]);
+  }
 }
 
 }  // namespace clic

@@ -14,8 +14,12 @@ class ClockPolicy : public Policy {
   explicit ClockPolicy(std::size_t cache_pages);
 
   bool Access(const Request& r, SeqNum seq) override;
+  void AccessBatch(const Request* reqs, SeqNum first_seq, std::size_t n,
+                   std::uint8_t* hits_out) override;
 
  private:
+  bool AccessOne(const Request& r);
+
   struct Frame {
     PageId page = 0;
     std::uint8_t referenced = 0;

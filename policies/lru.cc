@@ -7,7 +7,7 @@ namespace clic {
 LruPolicy::LruPolicy(std::size_t cache_pages)
     : arena_(std::max<std::size_t>(1, cache_pages)) {}
 
-bool LruPolicy::Access(const Request& r, SeqNum /*seq*/) {
+inline bool LruPolicy::AccessOne(const Request& r) {
   const std::uint32_t slot = table_.Get(r.page);
   if (slot != kInvalidIndex) {
     arena_.MoveToFront(lru_, slot);
@@ -22,6 +22,29 @@ bool LruPolicy::Access(const Request& r, SeqNum /*seq*/) {
   arena_.PushFront(lru_, node);
   table_.Set(r.page, node);
   return false;
+}
+
+bool LruPolicy::Access(const Request& r, SeqNum /*seq*/) {
+  return AccessOne(r);
+}
+
+void LruPolicy::AccessBatch(const Request* reqs, SeqNum /*first_seq*/,
+                            std::size_t n, std::uint8_t* hits_out) {
+  // Software-pipelined lookahead (see kBatchPrefetchDistance): the main
+  // loop prefetches unconditionally, the short tail runs bare.
+  const std::size_t main = n > kBatchPrefetchDistance
+                               ? n - kBatchPrefetchDistance
+                               : 0;
+  std::size_t i = 0;
+  for (; i < main; ++i) {
+    table_.Prefetch(reqs[i + kBatchPrefetchDistance].page);
+    const std::uint32_t ahead = table_.Get(reqs[i + kBatchNodeDistance].page);
+    if (ahead != kInvalidIndex) arena_.Prefetch(ahead);
+    hits_out[i] = AccessOne(reqs[i]);
+  }
+  for (; i < n; ++i) {
+    hits_out[i] = AccessOne(reqs[i]);
+  }
 }
 
 }  // namespace clic

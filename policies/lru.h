@@ -13,8 +13,12 @@ class LruPolicy : public Policy {
   explicit LruPolicy(std::size_t cache_pages);
 
   bool Access(const Request& r, SeqNum seq) override;
+  void AccessBatch(const Request* reqs, SeqNum first_seq, std::size_t n,
+                   std::uint8_t* hits_out) override;
 
  private:
+  bool AccessOne(const Request& r);
+
   PageTable table_;
   ListArena<NoPayload> arena_;
   ListHead lru_;

@@ -52,7 +52,7 @@ void MqPolicy::EvictOne() {
   }
 }
 
-bool MqPolicy::Access(const Request& r, SeqNum seq) {
+inline bool MqPolicy::AccessOne(const Request& r, SeqNum seq) {
   Adjust(seq);
   const std::uint32_t slot = table_.Get(r.page);
   if (slot != kInvalidIndex && !arena_[slot].payload.ghost) {
@@ -89,6 +89,26 @@ bool MqPolicy::Access(const Request& r, SeqNum seq) {
   table_.Set(r.page, node);
   ++resident_;
   return false;
+}
+
+bool MqPolicy::Access(const Request& r, SeqNum seq) {
+  return AccessOne(r, seq);
+}
+
+void MqPolicy::AccessBatch(const Request* reqs, SeqNum first_seq,
+                           std::size_t n, std::uint8_t* hits_out) {
+  const std::size_t main =
+      n > kBatchPrefetchDistance ? n - kBatchPrefetchDistance : 0;
+  std::size_t i = 0;
+  for (; i < main; ++i) {
+    table_.Prefetch(reqs[i + kBatchPrefetchDistance].page);
+    const std::uint32_t ahead = table_.Get(reqs[i + kBatchNodeDistance].page);
+    if (ahead != kInvalidIndex) arena_.Prefetch(ahead);
+    hits_out[i] = AccessOne(reqs[i], first_seq + i);
+  }
+  for (; i < n; ++i) {
+    hits_out[i] = AccessOne(reqs[i], first_seq + i);
+  }
 }
 
 }  // namespace clic

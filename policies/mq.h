@@ -18,8 +18,12 @@ class MqPolicy : public Policy {
   explicit MqPolicy(std::size_t cache_pages, std::uint64_t lifetime = 0);
 
   bool Access(const Request& r, SeqNum seq) override;
+  void AccessBatch(const Request* reqs, SeqNum first_seq, std::size_t n,
+                   std::uint8_t* hits_out) override;
 
  private:
+  bool AccessOne(const Request& r, SeqNum seq);
+
   struct Payload {
     std::uint32_t freq = 0;
     std::uint64_t expire = 0;

@@ -26,7 +26,7 @@ OptPolicy::OptPolicy(std::size_t cache_pages, const Trace& trace)
   heap_.reserve(1 << 16);
 }
 
-bool OptPolicy::Access(const Request& r, SeqNum seq) {
+inline bool OptPolicy::AccessOne(const Request& r, SeqNum seq) {
   const SeqNum nu = seq < next_use_.size() ? next_use_[seq] : kNever;
   if (resident_[r.page]) {
     cur_next_[r.page] = nu;
@@ -54,6 +54,28 @@ bool OptPolicy::Access(const Request& r, SeqNum seq) {
   std::push_heap(heap_.begin(), heap_.end());
   ++count_;
   return false;
+}
+
+bool OptPolicy::Access(const Request& r, SeqNum seq) {
+  return AccessOne(r, seq);
+}
+
+void OptPolicy::AccessBatch(const Request* reqs, SeqNum first_seq,
+                            std::size_t n, std::uint8_t* hits_out) {
+  // No PageTable here: the per-page state is the resident_ / cur_next_
+  // pair, so those are what the lookahead warms.
+  const std::size_t main =
+      n > kBatchPrefetchDistance ? n - kBatchPrefetchDistance : 0;
+  std::size_t i = 0;
+  for (; i < main; ++i) {
+    const PageId p = reqs[i + kBatchPrefetchDistance].page;
+    __builtin_prefetch(&resident_[p], 0, 1);
+    __builtin_prefetch(&cur_next_[p], 0, 1);
+    hits_out[i] = AccessOne(reqs[i], first_seq + i);
+  }
+  for (; i < n; ++i) {
+    hits_out[i] = AccessOne(reqs[i], first_seq + i);
+  }
 }
 
 }  // namespace clic

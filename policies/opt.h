@@ -16,9 +16,13 @@ class OptPolicy : public Policy {
   OptPolicy(std::size_t cache_pages, const Trace& trace);
 
   bool Access(const Request& r, SeqNum seq) override;
+  void AccessBatch(const Request* reqs, SeqNum first_seq, std::size_t n,
+                   std::uint8_t* hits_out) override;
 
  private:
   static constexpr SeqNum kNever = ~SeqNum{0};
+
+  bool AccessOne(const Request& r, SeqNum seq);
 
   std::size_t cache_pages_;
   std::vector<SeqNum> next_use_;   // per request index

@@ -27,7 +27,7 @@ void TqPolicy::TrimProtected() {
   }
 }
 
-bool TqPolicy::Access(const Request& r, SeqNum /*seq*/) {
+inline bool TqPolicy::AccessOne(const Request& r) {
   const bool replacement_write =
       r.op == OpType::kWrite && r.write_kind == WriteKind::kReplacement;
   const std::uint32_t slot = table_.Get(r.page);
@@ -63,6 +63,26 @@ bool TqPolicy::Access(const Request& r, SeqNum /*seq*/) {
     arena_.PushFront(plain_, node);
   }
   return false;
+}
+
+bool TqPolicy::Access(const Request& r, SeqNum /*seq*/) {
+  return AccessOne(r);
+}
+
+void TqPolicy::AccessBatch(const Request* reqs, SeqNum /*first_seq*/,
+                           std::size_t n, std::uint8_t* hits_out) {
+  const std::size_t main =
+      n > kBatchPrefetchDistance ? n - kBatchPrefetchDistance : 0;
+  std::size_t i = 0;
+  for (; i < main; ++i) {
+    table_.Prefetch(reqs[i + kBatchPrefetchDistance].page);
+    const std::uint32_t ahead = table_.Get(reqs[i + kBatchNodeDistance].page);
+    if (ahead != kInvalidIndex) arena_.Prefetch(ahead);
+    hits_out[i] = AccessOne(reqs[i]);
+  }
+  for (; i < n; ++i) {
+    hits_out[i] = AccessOne(reqs[i]);
+  }
 }
 
 }  // namespace clic

@@ -19,6 +19,8 @@ class TqPolicy : public Policy {
   explicit TqPolicy(std::size_t cache_pages, double write_bonus = 1.0);
 
   bool Access(const Request& r, SeqNum seq) override;
+  void AccessBatch(const Request* reqs, SeqNum first_seq, std::size_t n,
+                   std::uint8_t* hits_out) override;
 
  private:
   enum class Where : std::uint8_t { kProtected, kPlain };
@@ -26,6 +28,7 @@ class TqPolicy : public Policy {
     Where where = Where::kPlain;
   };
 
+  bool AccessOne(const Request& r);
   void EvictOne();
   void TrimProtected();
 

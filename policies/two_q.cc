@@ -30,7 +30,7 @@ void TwoQPolicy::ReclaimFrame() {
   }
 }
 
-bool TwoQPolicy::Access(const Request& r, SeqNum /*seq*/) {
+inline bool TwoQPolicy::AccessOne(const Request& r) {
   const std::uint32_t slot = table_.Get(r.page);
   if (slot != kInvalidIndex) {
     switch (arena_[slot].payload.where) {
@@ -55,6 +55,26 @@ bool TwoQPolicy::Access(const Request& r, SeqNum /*seq*/) {
   arena_.PushFront(a1in_, node);
   table_.Set(r.page, node);
   return false;
+}
+
+bool TwoQPolicy::Access(const Request& r, SeqNum /*seq*/) {
+  return AccessOne(r);
+}
+
+void TwoQPolicy::AccessBatch(const Request* reqs, SeqNum /*first_seq*/,
+                             std::size_t n, std::uint8_t* hits_out) {
+  const std::size_t main =
+      n > kBatchPrefetchDistance ? n - kBatchPrefetchDistance : 0;
+  std::size_t i = 0;
+  for (; i < main; ++i) {
+    table_.Prefetch(reqs[i + kBatchPrefetchDistance].page);
+    const std::uint32_t ahead = table_.Get(reqs[i + kBatchNodeDistance].page);
+    if (ahead != kInvalidIndex) arena_.Prefetch(ahead);
+    hits_out[i] = AccessOne(reqs[i]);
+  }
+  for (; i < n; ++i) {
+    hits_out[i] = AccessOne(reqs[i]);
+  }
 }
 
 }  // namespace clic

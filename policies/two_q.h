@@ -14,6 +14,8 @@ class TwoQPolicy : public Policy {
   explicit TwoQPolicy(std::size_t cache_pages);
 
   bool Access(const Request& r, SeqNum seq) override;
+  void AccessBatch(const Request* reqs, SeqNum first_seq, std::size_t n,
+                   std::uint8_t* hits_out) override;
 
  private:
   enum class Where : std::uint8_t { kAm, kA1in, kA1out };
@@ -21,6 +23,7 @@ class TwoQPolicy : public Policy {
     Where where = Where::kAm;
   };
 
+  bool AccessOne(const Request& r);
   void ReclaimFrame();
 
   PageTable table_;

@@ -26,6 +26,7 @@ std::vector<Trace> PartitionByShard(const Trace& trace, std::size_t shards) {
   for (std::size_t s = 0; s < parts.size(); ++s) {
     parts[s].name = trace.name + "#shard" + std::to_string(s);
     parts[s].hints = std::make_shared<HintRegistry>(*trace.hints);
+    parts[s].client_bound = trace.client_bound;  // valid upper bound
   }
   for (const Request& r : trace.requests) {
     parts[ShardOf(r.page, parts.size())].requests.push_back(r);
@@ -40,6 +41,7 @@ SimResult PartitionedSimulate(const Trace& trace, const ServerOptions& options,
   // Read-only below (PartitionByShard deep-copies per part), so the
   // alias never shares mutable interning state with a writer.
   capped.hints = trace.hints;
+  capped.client_bound = trace.client_bound;  // valid upper bound
   const std::uint64_t n =
       request_budget > 0 ? std::min<std::uint64_t>(trace.size(), request_budget)
                          : trace.size();
@@ -97,7 +99,7 @@ CacheServer::CacheServer(const ServerOptions& options, std::size_t num_clients)
                                        1u,
                                        std::thread::hardware_concurrency())));
   scratch_.resize(workers);
-  for (auto& buckets : scratch_) buckets.resize(shards_.size());
+  for (Scratch& s : scratch_) s.buckets.resize(shards_.size());
   // Everything above must be in place before the first consumer runs.
   consumers_.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) {
@@ -143,40 +145,49 @@ void CacheServer::Shutdown() {
 }
 
 void CacheServer::ApplyBatch(std::size_t consumer_index, const Batch& batch) {
-  auto apply_range = [this](Shard& shard, const Request* reqs,
-                            const std::uint32_t* idx, std::size_t count) {
+  Scratch& scratch = scratch_[consumer_index];
+  // The hit buffer is (re)sized outside any shard lock; AccessBatch
+  // itself never allocates.
+  if (scratch.hits.size() < batch.n) scratch.hits.resize(batch.n);
+  std::uint8_t* const hits = scratch.hits.data();
+
+  auto apply_range = [this, hits](Shard& shard, const Request* reqs,
+                                  std::size_t count) {
     std::lock_guard<std::mutex> lock(shard.mu);
 #ifndef NDEBUG
     assert(!shard.entered && "two consumers inside one shard's policy");
     shard.entered = true;
 #endif
+    // One virtual dispatch per drained run — the whole reason the drain
+    // loop gathers contiguous per-shard request spans.
+    shard.policy->AccessBatch(reqs, shard.seq, count, hits);
+    shard.seq += count;
     for (std::size_t i = 0; i < count; ++i) {
-      const Request& r = idx ? reqs[idx[i]] : reqs[i];
-      const bool hit = shard.policy->Access(r, shard.seq++);
+      const Request& r = reqs[i];
       if (r.client >= shard.client_stats.size()) {
         shard.client_stats.resize(static_cast<std::size_t>(r.client) + 1);
       }
-      shard.client_stats[r.client].Record(r, hit);
-      ++shard.requests;
+      shard.client_stats[r.client].Record(r, hits[i] != 0);
     }
+    shard.requests += count;
+    ++shard.drains;
 #ifndef NDEBUG
     shard.entered = false;
 #endif
   };
 
   if (shards_.size() == 1) {
-    apply_range(*shards_[0], batch.requests, nullptr, batch.n);
+    apply_range(*shards_[0], batch.requests, batch.n);
   } else {
-    auto& buckets = scratch_[consumer_index];
+    auto& buckets = scratch.buckets;
     for (auto& b : buckets) b.clear();
     for (std::size_t i = 0; i < batch.n; ++i) {
       buckets[ShardOf(batch.requests[i].page, shards_.size())].push_back(
-          static_cast<std::uint32_t>(i));
+          batch.requests[i]);
     }
     for (std::size_t s = 0; s < buckets.size(); ++s) {
       if (buckets[s].empty()) continue;
-      apply_range(*shards_[s], batch.requests, buckets[s].data(),
-                  buckets[s].size());
+      apply_range(*shards_[s], buckets[s].data(), buckets[s].size());
     }
   }
   batches_applied_.fetch_add(1, std::memory_order_relaxed);
@@ -303,6 +314,12 @@ std::uint64_t CacheServer::batches_applied() const {
   return batches_applied_.load(std::memory_order_relaxed);
 }
 
+std::uint64_t CacheServer::shard_drains() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->drains;
+  return total;
+}
+
 namespace {
 
 double PercentileUs(std::vector<double>& sorted_us, double q) {
@@ -386,6 +403,12 @@ ServeResult ServeTrace(const Trace& trace, const ServerOptions& options,
   result.per_shard = server.PerShardStats();
   result.requests = server.requests_applied();
   result.batches = server.batches_applied();
+  result.shard_drains = server.shard_drains();
+  result.avg_drained_batch =
+      result.shard_drains > 0
+          ? static_cast<double>(result.requests) /
+                static_cast<double>(result.shard_drains)
+          : 0.0;
   result.wall_seconds = wall.count();
   result.throughput_rps =
       wall.count() > 0 ? static_cast<double>(result.requests) / wall.count()

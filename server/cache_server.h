@@ -115,6 +115,11 @@ class CacheServer {
   std::vector<CacheStats> PerShardStats() const;
   std::uint64_t requests_applied() const;
   std::uint64_t batches_applied() const;
+  /// Number of per-shard batch applications (lock acquisitions paired
+  /// with one AccessBatch call). requests_applied() / shard_drains() is
+  /// the consumer-side batch size actually achieved — the submitted
+  /// batch size divided by how many shards each batch straddled.
+  std::uint64_t shard_drains() const;
 
   std::size_t shards() const { return shards_.size(); }
   std::size_t pages_per_shard() const { return pages_per_shard_; }
@@ -142,17 +147,27 @@ class CacheServer {
 
   /// A cache shard: policy + stats behind one mutex. The Policy
   /// interface is not thread-safe (core/policy.h); `mu` is the sole
-  /// serialization point for Access() on this shard's policy, and the
-  /// NDEBUG-gated `entered` flag asserts that discipline holds.
+  /// serialization point for AccessBatch() on this shard's policy, and
+  /// the NDEBUG-gated `entered` flag asserts that discipline holds.
   struct Shard {
     std::mutex mu;
     std::unique_ptr<Policy> policy;
     SeqNum seq = 0;
     std::vector<CacheStats> client_stats;  // indexed by Request::client
     std::uint64_t requests = 0;
+    std::uint64_t drains = 0;  // AccessBatch calls (= lock acquisitions)
 #ifndef NDEBUG
     bool entered = false;  // set/cleared under mu; asserts single entry
 #endif
+  };
+
+  /// Per-consumer scratch, reused across batches so the drain path
+  /// allocates only on capacity growth: each submitted batch is
+  /// gathered into contiguous per-shard request runs (AccessBatch
+  /// takes a contiguous span) plus one hit-byte buffer.
+  struct Scratch {
+    std::vector<std::vector<Request>> buckets;  // one per shard
+    std::vector<std::uint8_t> hits;
   };
 
   void ApplyBatch(std::size_t consumer_index, const Batch& batch);
@@ -162,9 +177,7 @@ class CacheServer {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<ClientQueue>> queues_;
   std::vector<std::thread> consumers_;
-  // Per-consumer scratch: batch indices bucketed by shard, reused
-  // across batches so the drain path allocates only on capacity growth.
-  std::vector<std::vector<std::vector<std::uint32_t>>> scratch_;
+  std::vector<Scratch> scratch_;
   std::size_t pages_per_shard_ = 0;
   bool deterministic_ = false;
   bool shut_down_ = false;
@@ -202,6 +215,11 @@ struct ServeResult {
   std::vector<ClientLoadStats> per_driver;  // indexed by driver client
   std::uint64_t requests = 0;
   std::uint64_t batches = 0;
+  /// Per-shard AccessBatch applications; requests / shard_drains is the
+  /// average drained batch size (how much of the submitted batch size
+  /// survives hash-sharding — the lock-amortization actually achieved).
+  std::uint64_t shard_drains = 0;
+  double avg_drained_batch = 0.0;
   double wall_seconds = 0.0;
   double throughput_rps = 0.0;
   double p50_us = 0.0;  // across all drivers' batches

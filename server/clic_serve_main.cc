@@ -214,7 +214,8 @@ SimResult AsSimResult(const ServeResult& result) {
 
 std::string CsvSummaryHeader() {
   return "trace,policy,shards,clients,cache_pages,pages_per_shard,batch,"
-         "deterministic,requests,batches,reads,writes,read_hits,write_hits,"
+         "deterministic,requests,batches,shard_drains,avg_drained_batch,"
+         "reads,writes,read_hits,write_hits,"
          "read_hit_ratio,write_hit_ratio,wall_seconds,throughput_rps,p50_us,"
          "p99_us,per_client";
 }
@@ -241,6 +242,10 @@ std::string CsvSummaryRow(const CliOptions& opts, const ServeResult& r,
   out.append(std::to_string(r.requests));
   out.push_back(',');
   out.append(std::to_string(r.batches));
+  out.push_back(',');
+  out.append(std::to_string(r.shard_drains));
+  out.push_back(',');
+  AppendDouble(&out, r.avg_drained_batch);
   out.push_back(',');
   out.append(std::to_string(r.total.reads));
   out.push_back(',');
@@ -288,6 +293,10 @@ std::string JsonSummary(const CliOptions& opts, const ServeResult& r,
   out.append(std::to_string(r.requests));
   out.append(",\"batches\":");
   out.append(std::to_string(r.batches));
+  out.append(",\"shard_drains\":");
+  out.append(std::to_string(r.shard_drains));
+  out.append(",\"avg_drained_batch\":");
+  AppendDouble(&out, r.avg_drained_batch);
   out.append(",\"reads\":");
   out.append(std::to_string(r.total.reads));
   out.append(",\"writes\":");
@@ -474,10 +483,10 @@ int Main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "clic_serve: %llu requests in %.3fs (%.0f req/s), p50 %.1fus "
-               "p99 %.1fus\n",
+               "p99 %.1fus, avg drained batch %.1f\n",
                static_cast<unsigned long long>(result.requests),
                result.wall_seconds, result.throughput_rps, result.p50_us,
-               result.p99_us);
+               result.p99_us, result.avg_drained_batch);
   return exit_code;
 }
 

@@ -19,14 +19,17 @@ struct CacheStats {
   /// The one place hit/miss bookkeeping lives: the simulator and the
   /// online server both account through this, so a new counter can
   /// never be added to one replay path and missed in the other.
+  /// Branchless on purpose — the batched stats pass runs this back to
+  /// back over a block of requests and op is data-dependent, so a
+  /// conditional here would be the "one stats branch per request" the
+  /// batch refactor removed.
   void Record(const Request& r, bool hit) {
-    if (r.op == OpType::kRead) {
-      ++reads;
-      read_hits += hit;
-    } else {
-      ++writes;
-      write_hits += hit;
-    }
+    const std::uint64_t is_read = r.op == OpType::kRead ? 1 : 0;
+    const std::uint64_t h = hit ? 1 : 0;
+    reads += is_read;
+    read_hits += is_read & h;
+    writes += 1 - is_read;
+    write_hits += (1 - is_read) & h;
   }
 
   CacheStats& operator+=(const CacheStats& o) {
@@ -54,11 +57,21 @@ struct SimResult {
   std::map<ClientId, CacheStats> per_client;
 };
 
-/// Replays `trace` through `policy` from a cold cache. Passes seq =
-/// request index to Policy::Access (OPT depends on this). Per-client
-/// accumulation is flat-vector for dense client ids and falls back to
-/// a map when the id space is much larger than the trace, so a stray
-/// huge ClientId cannot blow up the accumulator allocation.
+/// Requests per AccessBatch call in Simulate()'s replay loop. Large
+/// enough that the one virtual dispatch, the CLIC window-boundary
+/// hoist, and the stats pass are all amortized to noise; small enough
+/// that the hit buffer stays in L1. Exported so the bench JSON rows
+/// report the block size actually used.
+inline constexpr std::size_t kSimulateBatch = 4096;
+
+/// Replays `trace` through `policy` from a cold cache, in blocks of a
+/// few thousand requests per Policy::AccessBatch call (seq = request
+/// index, which OPT depends on); decisions are identical to sequential
+/// Access() by the batched-contract guarantee in core/policy.h.
+/// Per-client accumulation is flat-vector for dense client ids (sized
+/// from the trace's cached client bound) and falls back to a map when
+/// the id space is much larger than the trace, so a stray huge
+/// ClientId cannot blow up the accumulator allocation.
 SimResult Simulate(const Trace& trace, Policy& policy);
 
 }  // namespace clic

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Gate the micro-throughput floors against a bench JSON-Lines log.
+
+Usage: check_bench_floors.py BENCH_PR4.json [LRU_FLOOR CLIC_FLOOR]
+
+Reads the rows AppendBenchJson (bench/bench_util.h) emitted — one JSON
+object per line with at least {"bench": ..., "requests_per_sec": ...} —
+and fails (exit 1) when the best observed rate for LRU or CLIC falls
+below its floor (defaults: LRU 10M req/s, CLIC 2M req/s, the guardrails
+bench/README.md has carried since PR 1). Exit 2 for a missing/empty log
+or a policy with no rows at all, so a silently skipped bench can never
+pass the gate. Stdlib only; meant for the Release CI job (sanitizer
+builds are order-of-magnitude slower and do not gate floors).
+"""
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = argv[1]
+    floors = {
+        "LRU": float(argv[2]) if len(argv) > 2 else 10e6,
+        "CLIC": float(argv[3]) if len(argv) > 3 else 2e6,
+    }
+    best = {policy: None for policy in floors}
+    try:
+        lines = open(path).read().splitlines()
+    except OSError as e:
+        print(f"check_bench_floors: cannot read {path}: {e}", file=sys.stderr)
+        return 2
+    rows = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        row = json.loads(line)
+        rows += 1
+        name = row.get("bench", "")
+        rate = float(row.get("requests_per_sec", 0.0))
+        # A row counts toward a policy when its bench name contains the
+        # policy as a path component (Micro/requests_per_second/LRU,
+        # MicroBatch/CLIC/batch:4096, ...).
+        parts = name.split("/")
+        for policy in floors:
+            if policy in parts:
+                if best[policy] is None or rate > best[policy]:
+                    best[policy] = rate
+    if rows == 0:
+        print(f"check_bench_floors: {path} has no rows", file=sys.stderr)
+        return 2
+    failed = False
+    for policy, floor in floors.items():
+        rate = best[policy]
+        if rate is None:
+            print(f"check_bench_floors: no rows for {policy} in {path}",
+                  file=sys.stderr)
+            return 2
+        verdict = "OK" if rate >= floor else "BELOW FLOOR"
+        print(f"check_bench_floors: {policy:5s} best {rate/1e6:8.2f} M req/s "
+              f"(floor {floor/1e6:.0f}M) {verdict}")
+        failed = failed or rate < floor
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -362,12 +362,15 @@ Trace MakeNamedTrace(const std::string& name,
     if (target_requests != 0 && target_requests < target) {
       target = target_requests;
     }
-    if (info.workload == "TPCC") {
-      return MakeOltpTrace(info, target);
-    }
-    const bool db2 = info.dbms == "DB2";
-    return MakeDssTrace(info, target,
-                        db2 ? Db2DssLayout() : MySqlDssLayout(), db2);
+    Trace trace =
+        info.workload == "TPCC"
+            ? MakeOltpTrace(info, target)
+            : MakeDssTrace(info, target,
+                           info.dbms == "DB2" ? Db2DssLayout()
+                                              : MySqlDssLayout(),
+                           info.dbms == "DB2");
+    trace.CacheMaxClient();
+    return trace;
   }
   std::fprintf(stderr, "MakeNamedTrace: unknown trace '%s'\n", name.c_str());
   std::exit(1);
