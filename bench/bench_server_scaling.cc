@@ -4,24 +4,33 @@
 // machine runs out of cores; this driver pins the numbers down
 // (bench/README.md records the baselines).
 //
-//   bench_server_scaling [--benchmark_filter=ServerScaling/LRU/.*]
+//   bench_server_scaling [--workload=NAME_OR_SPEC]
+//                        [--benchmark_filter=ServerScaling/.*/LRU/.*]
+//
+// --workload (default DB2_C60) drives the server with any workload
+// token: a named paper trace, a scenario preset such as scan-pollute,
+// or an inline spec like 'zipf:pages=120000,theta=0.9' — this binary
+// owns its main() so the flag can be stripped before google-benchmark
+// parses the rest.
 //
 // Counter `requests_per_sec` is the headline; `p99_us` tracks tail
 // batch latency so a throughput win can't silently buy unbounded
 // queueing delay.
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/cli_util.h"
 #include "server/cache_server.h"
 
 namespace clic::bench {
 namespace {
 
 void ServerScaling(benchmark::State& state, PolicyKind kind,
-                   const std::string& name) {
+                   const std::string& workload, const std::string& name) {
   const std::size_t shards = static_cast<std::size_t>(state.range(0));
   const std::size_t clients = static_cast<std::size_t>(state.range(1));
-  const Trace& trace = GetTrace("DB2_C60");
+  const Trace& trace = GetTrace(workload);
 
   server::ServerOptions options;
   options.shards = shards;
@@ -59,18 +68,19 @@ void ServerScaling(benchmark::State& state, PolicyKind kind,
   AppendBenchJson(row);
 }
 
-void RegisterServerScaling() {
+void RegisterServerScaling(const std::string& workload) {
   for (PolicyKind kind : {PolicyKind::kLru, PolicyKind::kClic}) {
     for (long shards : {1L, 2L, 4L, 8L}) {
       for (long clients : {1L, 4L}) {
-        const std::string name = std::string("ServerScaling/") +
-                                 PolicyName(kind) + "/shards:" +
+        const std::string name = std::string("ServerScaling/") + workload +
+                                 "/" + PolicyName(kind) + "/shards:" +
                                  std::to_string(shards) + "/clients:" +
                                  std::to_string(clients);
-        benchmark::RegisterBenchmark(name.c_str(),
-                                     [kind, name](benchmark::State& s) {
-                                       ServerScaling(s, kind, name);
-                                     })
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [kind, workload, name](benchmark::State& s) {
+              ServerScaling(s, kind, workload, name);
+            })
             ->Args({shards, clients})
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
@@ -78,7 +88,32 @@ void RegisterServerScaling() {
     }
   }
 }
-const int registered = (RegisterServerScaling(), 0);
 
 }  // namespace
 }  // namespace clic::bench
+
+int main(int argc, char** argv) {
+  std::string workload = "DB2_C60";
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--workload=";
+    if (arg.rfind(prefix, 0) == 0) {
+      workload = arg.substr(prefix.size());
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  clic::cli::RequireKnownWorkload("bench_server_scaling", "--workload",
+                                  workload);
+  clic::bench::RegisterServerScaling(workload);
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

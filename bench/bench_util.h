@@ -3,8 +3,9 @@
 // Traces are generated at the DESIGN.md scaled lengths (capped by the
 // CLIC_BENCH_REQUESTS environment variable if set) and cached on disk
 // under CLIC_TRACE_CACHE_DIR (default: ./clic_trace_cache) through the
-// process-wide sweep::TraceCache, so the fifteen bench binaries and
-// clic_sweep never regenerate the same workloads.
+// process-wide sweep::TraceCache, so the seventeen bench binaries and
+// clic_sweep never regenerate the same workloads — named paper traces
+// and scenario-engine workloads alike.
 #pragma once
 
 #include <benchmark/benchmark.h>

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/policy_factory.h"
+#include "workload/scenario.h"
 #include "workload/trace_factory.h"
 
 namespace clic::cli {
@@ -30,6 +31,43 @@ inline std::string KnownTraceNames() {
   for (const NamedTraceInfo& info : NamedTraces()) {
     if (!out.empty()) out.append(", ");
     out.append(info.name);
+  }
+  return out;
+}
+
+inline std::string KnownScenarioNames() {
+  std::string out;
+  for (const ScenarioPreset& preset : ScenarioPresets()) {
+    if (!out.empty()) out.append(", ");
+    out.append(preset.name);
+  }
+  return out;
+}
+
+/// Every token a workload flag accepts, for help text and error
+/// messages alike: the named paper traces, the scenario presets, and a
+/// reminder of the inline spec grammar.
+inline std::string KnownWorkloadNames() {
+  return KnownTraceNames() + "; scenario presets: " + KnownScenarioNames() +
+         "; or an inline spec like 'zipf:pages=120000,theta=0.9'";
+}
+
+/// The one table of `--figure` preset names. clic_sweep's help text and
+/// error messages both read it, and sweep::FigureSpec must resolve
+/// exactly this set (pinned by tests/test_sweep.cc), so the valid-token
+/// list can never drift from the grids that actually exist.
+inline const std::vector<std::string>& FigurePresetNames() {
+  static const std::vector<std::string> names = {
+      "6",          "7",           "8",           "ablation",
+      "zipf-sweep", "scan-pollution", "phase-shift", "tenant-mix"};
+  return names;
+}
+
+inline std::string KnownFigureNames() {
+  std::string out;
+  for (const std::string& name : FigurePresetNames()) {
+    if (!out.empty()) out.append(", ");
+    out.append(name);
   }
   return out;
 }
@@ -88,15 +126,20 @@ inline double ParseDouble(const char* prog, const std::string& flag,
   return parsed;
 }
 
-/// Validates a trace name against NamedTraces(); unknown names die with
-/// the valid set.
-inline void RequireKnownTrace(const char* prog, const std::string& flag,
-                              const std::string& name) {
+/// Validates a workload token: a named paper trace, a scenario preset,
+/// or an inline scenario spec. Unknown or malformed tokens die with the
+/// offending token, the parse error, and the full valid set — the one
+/// validation every workload-accepting flag (`--traces`, `--trace`,
+/// `--workload`) routes through.
+inline void RequireKnownWorkload(const char* prog, const std::string& flag,
+                                 const std::string& name) {
   for (const NamedTraceInfo& info : NamedTraces()) {
     if (info.name == name) return;
   }
-  Die(prog, flag + ": unknown trace '" + name + "' (valid traces: " +
-                KnownTraceNames() + ")");
+  std::string error;
+  if (ResolveWorkload(name, &error)) return;
+  Die(prog, flag + ": unknown workload '" + name + "' (" + error +
+                "; valid traces: " + KnownWorkloadNames() + ")");
 }
 
 /// Parses one policy token; unknown names die with the valid set.

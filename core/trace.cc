@@ -62,12 +62,16 @@ TraceStats ComputeStats(const Trace& trace) {
   stats.requests = trace.requests.size();
   PageId max_page = 0;
   HintSetId max_hint = 0;
+  ClientId max_client = 0;
   for (const Request& r : trace.requests) {
     max_page = std::max(max_page, r.page);
     max_hint = std::max(max_hint, r.hint_set);
+    max_client = std::max(max_client, r.client);
   }
   std::vector<bool> page_seen(static_cast<std::size_t>(max_page) + 1, false);
   std::vector<bool> hint_seen(static_cast<std::size_t>(max_hint) + 1, false);
+  std::vector<bool> client_seen(static_cast<std::size_t>(max_client) + 1,
+                                false);
   for (const Request& r : trace.requests) {
     if (r.op == OpType::kRead) {
       ++stats.reads;
@@ -81,6 +85,10 @@ TraceStats ComputeStats(const Trace& trace) {
     if (!hint_seen[r.hint_set]) {
       hint_seen[r.hint_set] = true;
       ++stats.distinct_hint_sets;
+    }
+    if (!client_seen[r.client]) {
+      client_seen[r.client] = true;
+      ++stats.distinct_clients;
     }
   }
   return stats;

@@ -114,13 +114,16 @@ struct Trace {
   void CacheMaxClient();
 };
 
-/// Summary columns of the paper's Figure 5 trace table.
+/// Summary columns of the paper's Figure 5 trace table, plus the client
+/// count (1 for the single-client paper traces; the tenant-mix
+/// scenarios and Figure-11 interleaves carry more).
 struct TraceStats {
   std::uint64_t requests = 0;
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
   std::uint64_t distinct_hint_sets = 0;
   std::uint64_t distinct_pages = 0;
+  std::uint64_t distinct_clients = 0;
 };
 
 TraceStats ComputeStats(const Trace& trace);

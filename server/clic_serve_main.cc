@@ -23,6 +23,7 @@
 #include "server/cache_server.h"
 #include "sweep/sweep.h"
 #include "sweep/trace_cache.h"
+#include "workload/scenario.h"
 #include "workload/trace_factory.h"
 
 namespace clic::server {
@@ -44,10 +45,15 @@ struct CliOptions {
 void Usage(std::FILE* out) {
   std::fprintf(
       out,
-      "Usage: clic_serve --trace=NAME [flags]\n"
+      "Usage: clic_serve --trace=NAME | --workload=SPEC [flags]\n"
       "\n"
       "Workload:\n"
       "  --trace=NAME       named trace to replay (see --list)\n"
+      "  --workload=SPEC    synthetic scenario: a preset name or inline\n"
+      "                     spec like 'zipf:pages=120000,theta=0.9'\n"
+      "                     (see --list; workload/scenario.h has the\n"
+      "                     grammar). Alias of --trace — both accept\n"
+      "                     every workload token; give exactly one.\n"
       "  --requests=N       request budget (overrides CLIC_BENCH_REQUESTS)\n"
       "  --duration=SEC     run clients for SEC seconds instead of one\n"
       "                     pass (incompatible with --deterministic)\n"
@@ -85,6 +91,10 @@ void PrintList() {
   std::printf("Traces:");
   for (const NamedTraceInfo& info : NamedTraces()) {
     std::printf(" %s", info.name.c_str());
+  }
+  std::printf("\nScenario presets:");
+  for (const ScenarioPreset& preset : ScenarioPresets()) {
+    std::printf(" %s", preset.name);
   }
   std::printf("\nPolicies:");
   for (PolicyKind kind : AllPolicies()) {
@@ -128,8 +138,13 @@ CliOptions Parse(int argc, char** argv) {
     }
     const std::string key = arg.substr(0, eq);
     const std::string value = arg.substr(eq + 1);
-    if (key == "--trace") {
-      cli::RequireKnownTrace(kProg, key, value);
+    if (key == "--trace" || key == "--workload") {
+      if (!opts.trace.empty()) {
+        Die("--trace and --workload are aliases; give exactly one "
+            "workload (got '" +
+            opts.trace + "' and '" + value + "')");
+      }
+      cli::RequireKnownWorkload(kProg, key, value);
       opts.trace = value;
     } else if (key == "--policy") {
       opts.server.policy = cli::RequirePolicy(kProg, key, value);
@@ -190,7 +205,8 @@ CliOptions Parse(int argc, char** argv) {
     }
   }
   if (opts.trace.empty()) {
-    Die("--trace is required (valid traces: " + cli::KnownTraceNames() + ")");
+    Die("--trace (or --workload) is required (valid traces: " +
+        cli::KnownWorkloadNames() + ")");
   }
   if (opts.verify && !opts.server.deterministic) {
     Die("--verify requires --deterministic (concurrent interleaving is "

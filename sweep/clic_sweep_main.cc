@@ -21,6 +21,7 @@
 #include "common/cli_util.h"
 #include "sweep/sweep.h"
 #include "sweep/trace_cache.h"
+#include "workload/scenario.h"
 #include "workload/trace_factory.h"
 
 namespace clic::sweep {
@@ -37,6 +38,20 @@ struct CliOptions {
   std::string output;  // empty = stdout
 };
 
+/// Which CLIC option flags appeared explicitly on the command line. A
+/// --figure preset may carry its own CLIC options (the phase-shift grid
+/// ships a phase-tracking window/decay); explicit flags must beat the
+/// preset no matter where they appear relative to --figure, so the
+/// preset's options are merged field-by-field against this record.
+struct ClicFlagSet {
+  bool window = false;
+  bool decay = false;
+  bool outqueue = false;
+  bool top_k = false;
+  bool tracker = false;
+  bool charge_metadata = false;
+};
+
 void Usage(std::FILE* out) {
   std::fprintf(
       out,
@@ -44,10 +59,16 @@ void Usage(std::FILE* out) {
       "\n"
       "Grid selection (a --figure preset, explicit flags, or both —\n"
       "explicit flags override the preset's corresponding field):\n"
-      "  --figure=6|7|8|ablation   paper figure grid\n"
-      "  --traces=A,B              named traces (see --list)\n"
+      "  --figure=NAME             preset grid, one of: %s\n"
+      "                            (6|7|8|ablation are the paper grids;\n"
+      "                            the rest are scenario grids)\n"
+      "  --traces=A,B              named traces or scenario presets\n"
+      "                            (see --list)\n"
       "  --policies=LRU,CLIC       policy names (see --list)\n"
-      "  --cache-pages=6000,12000  server cache sizes, in pages\n"
+      "  --cache-pages=6000,12000  server cache sizes, in pages\n",
+      ::clic::cli::KnownFigureNames().c_str());
+  std::fprintf(
+      out,
       "\n"
       "Execution:\n"
       "  --threads=N        worker threads (default: hardware concurrency)\n"
@@ -81,21 +102,32 @@ double ParseDouble(const std::string& flag, const std::string& value) {
 
 void ValidateTraceNames(const std::vector<std::string>& names) {
   for (const std::string& name : names) {
-    cli::RequireKnownTrace(kProg, "--traces", name);
+    cli::RequireKnownWorkload(kProg, "--traces", name);
   }
 }
 
-void ApplyFigurePreset(const std::string& figure, SweepSpec* spec) {
+void ApplyFigurePreset(const std::string& figure, const ClicFlagSet& flags,
+                       SweepSpec* spec) {
   const std::optional<SweepSpec> preset = FigureSpec(figure);
   if (!preset) {
-    Die("unknown --figure='" + figure +
-        "' (valid figures: 6, 7, 8, ablation)");
+    Die("unknown --figure='" + figure + "' (valid figures: " +
+        cli::KnownFigureNames() + ")");
   }
-  // Only the grid fields: CLIC option flags parsed before --figure
-  // must survive the preset.
   spec->traces = preset->traces;
   spec->policies = preset->policies;
   spec->cache_sizes = preset->cache_sizes;
+  // The preset's CLIC options apply too, but an explicit flag beats
+  // them regardless of its position relative to --figure.
+  ClicOptions merged = preset->clic;
+  if (flags.window) merged.window = spec->clic.window;
+  if (flags.decay) merged.decay = spec->clic.decay;
+  if (flags.outqueue) merged.outqueue_per_page = spec->clic.outqueue_per_page;
+  if (flags.top_k) merged.top_k = spec->clic.top_k;
+  if (flags.tracker) merged.tracker = spec->clic.tracker;
+  if (flags.charge_metadata) {
+    merged.charge_metadata = spec->clic.charge_metadata;
+  }
+  spec->clic = merged;
 }
 
 void PrintList() {
@@ -108,6 +140,14 @@ void PrintList() {
                 static_cast<unsigned long long>(info.buffer_pages),
                 static_cast<unsigned long long>(info.target_requests));
   }
+  std::printf("Scenario presets (workload/scenario.h; also usable as "
+              "--traces tokens):\n");
+  for (const ScenarioPreset& preset : ScenarioPresets()) {
+    std::printf("  %-13s %s\n      = %s\n", preset.name, preset.blurb,
+                preset.spec);
+  }
+  std::printf("Figure presets: %s\n",
+              ::clic::cli::KnownFigureNames().c_str());
   std::printf("Policies:");
   for (PolicyKind kind : AllPolicies()) {
     std::printf(" %s", PolicyName(kind));
@@ -117,6 +157,7 @@ void PrintList() {
 
 CliOptions Parse(int argc, char** argv) {
   CliOptions cli;
+  ClicFlagSet clic_flags;
   std::string figure, traces, policies, cache_pages;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -130,6 +171,7 @@ CliOptions Parse(int argc, char** argv) {
     }
     if (arg == "--no-charge-metadata") {
       cli.spec.clic.charge_metadata = false;
+      clic_flags.charge_metadata = true;
       continue;
     }
     const std::size_t eq = arg.find('=');
@@ -156,12 +198,16 @@ CliOptions Parse(int argc, char** argv) {
       cli.cache_dir = value;
     } else if (key == "--window") {
       cli.spec.clic.window = ParseU64(key, value);
+      clic_flags.window = true;
     } else if (key == "--decay") {
       cli.spec.clic.decay = ParseDouble(key, value);
+      clic_flags.decay = true;
     } else if (key == "--outqueue") {
       cli.spec.clic.outqueue_per_page = ParseDouble(key, value);
+      clic_flags.outqueue = true;
     } else if (key == "--top-k") {
       cli.spec.clic.top_k = static_cast<std::size_t>(ParseU64(key, value));
+      clic_flags.top_k = true;
     } else if (key == "--tracker") {
       if (value == "exact") {
         cli.spec.clic.tracker = TrackerKind::kExact;
@@ -172,6 +218,7 @@ CliOptions Parse(int argc, char** argv) {
       } else {
         Die("unknown --tracker='" + value + "'");
       }
+      clic_flags.tracker = true;
     } else if (key == "--format") {
       if (value != "csv" && value != "json") {
         Die("unknown --format='" + value + "' (want csv or json)");
@@ -184,7 +231,7 @@ CliOptions Parse(int argc, char** argv) {
     }
   }
 
-  if (!figure.empty()) ApplyFigurePreset(figure, &cli.spec);
+  if (!figure.empty()) ApplyFigurePreset(figure, clic_flags, &cli.spec);
   if (!traces.empty()) {
     cli.spec.traces = ::clic::cli::SplitCsvFlag(kProg, "--traces", traces);
   }

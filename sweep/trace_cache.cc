@@ -11,6 +11,7 @@
 #include <sys/stat.h>
 
 #include "sim/trace_io.h"
+#include "workload/scenario.h"
 #include "workload/trace_factory.h"
 
 namespace clic::sweep {
@@ -83,18 +84,28 @@ const Trace& TraceCache::Get(const std::string& name) {
 
 void TraceCache::Fill(const std::string& name, Entry& entry) {
   std::uint64_t target = 0;
-  bool known = false;
+  bool named = false;
   for (const NamedTraceInfo& info : NamedTraces()) {
     if (info.name == name) {
       target = info.target_requests;
-      known = true;
+      named = true;
     }
   }
-  if (!known) {
-    std::fprintf(stderr,
-                 "TraceCache: unknown trace '%s' (see NamedTraces())\n",
-                 name.c_str());
-    std::exit(1);
+  // Not one of the eight paper traces: a scenario preset or inline
+  // workload spec (workload/scenario.h). Scenario traces share the same
+  // disk cache with their own generator-version suffix.
+  std::optional<WorkloadSpec> scenario;
+  if (!named) {
+    std::string error;
+    scenario = ResolveWorkload(name, &error);
+    if (!scenario) {
+      std::fprintf(stderr,
+                   "TraceCache: unknown workload '%s': %s (see "
+                   "NamedTraces() and ScenarioPresets())\n",
+                   name.c_str(), error.c_str());
+      std::exit(1);
+    }
+    target = scenario->requests;
   }
   target = std::min(target, request_cap_);
 
@@ -105,15 +116,21 @@ void TraceCache::Fill(const std::string& name, Entry& entry) {
   }
   std::call_once(cleanup_once_, [this] { CollectStaleTempFiles(dir_); });
   // Cache key = name + target length + generator version: any of the
-  // three changing invalidates the cached file.
-  const std::string path = dir_ + "/" + name + "_" + std::to_string(target) +
-                           "_g" + std::to_string(kTraceGeneratorVersion) +
-                           ".trc";
+  // three changing invalidates the cached file. Scenario files hash
+  // unsafe spec characters out of the stem and carry the scenario
+  // engine's own version counter.
+  const std::string path =
+      named ? dir_ + "/" + name + "_" + std::to_string(target) + "_g" +
+                  std::to_string(kTraceGeneratorVersion) + ".trc"
+            : dir_ + "/" + ScenarioCacheStem(name) + "_" +
+                  std::to_string(target) + "_s" +
+                  std::to_string(kScenarioGeneratorVersion) + ".trc";
   if (auto loaded = LoadTrace(path, name)) {
     entry.trace = std::make_unique<const Trace>(std::move(*loaded));
     return;
   }
-  Trace generated = MakeNamedTrace(name, target);
+  Trace generated = named ? MakeNamedTrace(name, target)
+                          : MakeScenarioTrace(*scenario, target);
   if (!SaveTrace(generated, path)) {
     std::fprintf(stderr,
                  "TraceCache: warning: could not cache trace to %s\n",

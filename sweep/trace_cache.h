@@ -48,11 +48,13 @@ class TraceCache {
   /// length (the cap is part of the on-disk cache key).
   TraceCache(std::string dir, std::uint64_t request_cap);
 
-  /// Returns the named trace, generated once and cached on disk across
-  /// processes. Thread-safe (per-trace granularity, see file comment).
-  /// The reference stays valid for the cache's lifetime. Unknown names
-  /// and an unusable cache directory exit(1): silently replaying an
-  /// empty trace would report fake hit ratios.
+  /// Returns the named workload — one of the eight paper traces, a
+  /// scenario preset, or an inline scenario spec (workload/scenario.h)
+  /// — generated once and cached on disk across processes. Thread-safe
+  /// (per-trace granularity, see file comment). The reference stays
+  /// valid for the cache's lifetime. Unknown names and an unusable
+  /// cache directory exit(1): silently replaying an empty trace would
+  /// report fake hit ratios.
   const Trace& Get(const std::string& name);
 
   const std::string& dir() const { return dir_; }

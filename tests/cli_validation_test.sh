@@ -57,6 +57,12 @@ expect_reject "clic_sweep unknown policy" "LRUU" "CLIC" -- \
   "$SWEEP" --traces=DB2_C60 --policies=LRUU --cache-pages=100
 expect_reject "clic_sweep unknown figure" "9" "ablation" -- \
   "$SWEEP" --figure=9
+expect_reject "clic_sweep unknown figure lists scenario grids" "9" "scan-pollution" -- \
+  "$SWEEP" --figure=9
+expect_reject "clic_sweep unknown trace lists scenario presets" "BOGUS" "scan-pollute" -- \
+  "$SWEEP" --traces=BOGUS --policies=LRU --cache-pages=100
+expect_reject "clic_sweep bad inline scenario spec" "theta" "zipf" -- \
+  "$SWEEP" --traces=zipf:theta=banana --policies=LRU --cache-pages=100
 expect_reject "clic_sweep empty policy token" "empty token" "--policies" -- \
   "$SWEEP" --traces=DB2_C60 --policies=LRU,,CLIC --cache-pages=100
 expect_reject "clic_sweep trailing comma in traces" "empty token" "--traces" -- \
@@ -68,6 +74,12 @@ expect_reject "clic_sweep bad thread count" "abc" "positive integer" -- \
 
 expect_reject "clic_serve unknown trace" "NOPE" "DB2_C60" -- \
   "$SERVE" --trace=NOPE
+expect_reject "clic_serve unknown workload" "NOPE" "scan-pollute" -- \
+  "$SERVE" --workload=NOPE
+expect_reject "clic_serve bad inline workload spec" "scan-every" "scan-mix" -- \
+  "$SERVE" --workload=scan-mix:scan-every=0
+expect_reject "clic_serve trace and workload clash" "--workload" "exactly one" -- \
+  "$SERVE" --trace=DB2_C60 --workload=scan-pollute
 expect_reject "clic_serve unknown policy" "FIFO" "CLIC" -- \
   "$SERVE" --trace=DB2_C60 --policy=FIFO
 expect_reject "clic_serve OPT rejected" "OPT" "clairvoyant" -- \

@@ -7,8 +7,11 @@
 #include <string>
 #include <vector>
 
+#include "common/cli_util.h"
 #include "core/trace.h"
 #include "sim/simulator.h"
+#include "workload/scenario.h"
+#include "workload/trace_factory.h"
 
 namespace clic::sweep {
 namespace {
@@ -138,6 +141,35 @@ TEST(FigureSpecTest, KnownFiguresHaveExpectedGridShapes) {
 
   EXPECT_FALSE(FigureSpec("9").has_value());
   EXPECT_FALSE(FigureSpec("").has_value());
+}
+
+TEST(FigureSpecTest, PresetTableMatchesResolvableFigures) {
+  // The one table rule (common/cli_util.h): every token the help text
+  // and error messages advertise must resolve, every scenario-grid
+  // trace must itself be a resolvable workload, and the table must be
+  // exhaustive for the grids this test knows to exist.
+  for (const std::string& name : cli::FigurePresetNames()) {
+    const auto spec = FigureSpec(name);
+    ASSERT_TRUE(spec.has_value()) << "advertised figure '" << name
+                                  << "' does not resolve";
+    EXPECT_FALSE(spec->traces.empty()) << name;
+    EXPECT_FALSE(spec->policies.empty()) << name;
+    EXPECT_FALSE(spec->cache_sizes.empty()) << name;
+    for (const std::string& trace : spec->traces) {
+      bool named = false;
+      for (const NamedTraceInfo& info : NamedTraces()) {
+        named = named || info.name == trace;
+      }
+      std::string error;
+      EXPECT_TRUE(named || ResolveWorkload(trace, &error).has_value())
+          << "figure '" << name << "' trace '" << trace << "': " << error;
+    }
+  }
+  const auto scan = FigureSpec("scan-pollution");
+  ASSERT_TRUE(scan.has_value());
+  EXPECT_EQ(scan->traces,
+            (std::vector<std::string>{"zipf-hot", "scan-pollute"}));
+  EXPECT_EQ(scan->cache_sizes.size(), 5u);  // the paper's cache axis
 }
 
 TEST(SweepRunnerTest, MatchesSequentialSimulateOnEveryPoint) {

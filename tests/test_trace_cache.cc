@@ -167,7 +167,20 @@ TEST(TraceCacheTest, CollectStaleTempFilesHonorsTheAgeThreshold) {
 TEST(TraceCacheDeathTest, UnknownTraceNameExits) {
   TraceCache cache(FreshDir("unknown"), kCap);
   EXPECT_EXIT(cache.Get("NO_SUCH_TRACE"), ::testing::ExitedWithCode(1),
-              "unknown trace");
+              "unknown workload");
+}
+
+TEST(TraceCacheTest, ResolvesScenarioPresetsAndInlineSpecs) {
+  TraceCache cache(FreshDir("scenario"), kCap);
+  const Trace& preset = cache.Get("scan-pollute");
+  EXPECT_EQ(preset.name, "scan-pollute");
+  EXPECT_EQ(preset.size(), kCap);  // capped like the named traces
+  const std::string spec = "zipf:pages=20000,buffer=200,n=1000";
+  const Trace& inline_trace = cache.Get(spec);
+  EXPECT_EQ(inline_trace.name, spec);
+  EXPECT_EQ(inline_trace.size(), 1'000u);  // below the cap: spec length
+  // Second Get returns the same cached instance.
+  EXPECT_EQ(&cache.Get(spec), &inline_trace);
 }
 
 }  // namespace

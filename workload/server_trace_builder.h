@@ -1,0 +1,77 @@
+// Feeds a logical (client-side) access stream through a ClientBuffer
+// and records the resulting server-side request trace: buffer-miss
+// reads, replacement writebacks of dirty victims, and checkpoint
+// recovery writes. Every trace generator in workload/ — the eight named
+// paper traces and the scenario engine — emits requests through this
+// one funnel, so all of them produce the same hint-annotated request
+// shapes the CLIC engine consumes.
+#pragma once
+
+#include <cstdint>
+
+#include "core/trace.h"
+#include "workload/client_buffer.h"
+
+namespace clic {
+
+class ServerTraceBuilder {
+ public:
+  /// Requests are appended to `trace` and tagged with `client` (the
+  /// named paper traces use the default 0; the tenant-mix scenario
+  /// builds one builder per tenant). `target` is the request count at
+  /// which Done() flips; with several builders sharing one trace it is
+  /// the *shared* total, so interleaved tenants stop together.
+  ServerTraceBuilder(Trace* trace, std::size_t client_buffer_pages,
+                     std::uint64_t target, ClientId client = 0)
+      : trace_(trace),
+        buffer_(client_buffer_pages),
+        target_(target),
+        client_(client) {}
+
+  bool Done() const { return trace_->requests.size() >= target_; }
+  std::uint64_t logical_accesses() const { return logical_; }
+
+  void LogicalAccess(PageId page, HintSetId hint, bool dirty) {
+    ++logical_;
+    const ClientBuffer::AccessResult result =
+        buffer_.Access(page, dirty, hint);
+    if (result.miss) {
+      Request r;
+      r.page = page;
+      r.hint_set = hint;
+      r.client = client_;
+      r.op = OpType::kRead;
+      trace_->requests.push_back(r);
+    }
+    if (result.evicted && result.evicted_dirty) {
+      Request w;
+      w.page = result.evicted_page;
+      w.hint_set = result.evicted_hint;
+      w.client = client_;
+      w.op = OpType::kWrite;
+      w.write_kind = WriteKind::kReplacement;
+      trace_->requests.push_back(w);
+    }
+  }
+
+  void Checkpoint(std::size_t max_pages, HintSetId hint) {
+    buffer_.FlushDirty(max_pages, [&](PageId page, HintSetId /*last*/) {
+      Request w;
+      w.page = page;
+      w.hint_set = hint;
+      w.client = client_;
+      w.op = OpType::kWrite;
+      w.write_kind = WriteKind::kRecovery;
+      trace_->requests.push_back(w);
+    });
+  }
+
+ private:
+  Trace* trace_;
+  ClientBuffer buffer_;
+  std::uint64_t target_;
+  std::uint64_t logical_ = 0;
+  ClientId client_ = 0;
+};
+
+}  // namespace clic

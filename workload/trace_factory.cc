@@ -7,7 +7,7 @@
 
 #include "common/fnv1a.h"
 #include "common/rng.h"
-#include "workload/client_buffer.h"
+#include "workload/server_trace_builder.h"
 
 namespace clic {
 namespace {
@@ -34,56 +34,6 @@ struct ObjectSpec {
 std::uint64_t SeedFromName(const std::string& name) {
   return Fnv1aHash(name) ^ 0xC11C0FA57ull;  // repo-wide trace-seed salt
 }
-
-/// Feeds a logical (client-side) access stream through a ClientBuffer
-/// and records the resulting server-side request trace.
-class ServerTraceBuilder {
- public:
-  ServerTraceBuilder(Trace* trace, std::size_t client_buffer_pages,
-                     std::uint64_t target)
-      : trace_(trace), buffer_(client_buffer_pages), target_(target) {}
-
-  bool Done() const { return trace_->requests.size() >= target_; }
-  std::uint64_t logical_accesses() const { return logical_; }
-
-  void LogicalAccess(PageId page, HintSetId hint, bool dirty) {
-    ++logical_;
-    const ClientBuffer::AccessResult result =
-        buffer_.Access(page, dirty, hint);
-    if (result.miss) {
-      Request r;
-      r.page = page;
-      r.hint_set = hint;
-      r.op = OpType::kRead;
-      trace_->requests.push_back(r);
-    }
-    if (result.evicted && result.evicted_dirty) {
-      Request w;
-      w.page = result.evicted_page;
-      w.hint_set = result.evicted_hint;
-      w.op = OpType::kWrite;
-      w.write_kind = WriteKind::kReplacement;
-      trace_->requests.push_back(w);
-    }
-  }
-
-  void Checkpoint(std::size_t max_pages, HintSetId hint) {
-    buffer_.FlushDirty(max_pages, [&](PageId page, HintSetId /*last*/) {
-      Request w;
-      w.page = page;
-      w.hint_set = hint;
-      w.op = OpType::kWrite;
-      w.write_kind = WriteKind::kRecovery;
-      trace_->requests.push_back(w);
-    });
-  }
-
- private:
-  Trace* trace_;
-  ClientBuffer buffer_;
-  std::uint64_t target_;
-  std::uint64_t logical_ = 0;
-};
 
 class ObjectSet {
  public:
