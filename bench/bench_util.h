@@ -3,7 +3,7 @@
 // Traces are generated at the DESIGN.md scaled lengths (capped by the
 // CLIC_BENCH_REQUESTS environment variable if set) and cached on disk
 // under CLIC_TRACE_CACHE_DIR (default: ./clic_trace_cache) through the
-// process-wide sweep::TraceCache, so the seventeen bench binaries and
+// process-wide sweep::TraceCache, so the eighteen bench binaries and
 // clic_sweep never regenerate the same workloads — named paper traces
 // and scenario-engine workloads alike.
 #pragma once
@@ -73,7 +73,12 @@ struct BenchJsonRow {
   double requests_per_sec = 0;  // the headline throughput
   std::uint64_t batch = 0;      // AccessBatch block size; 0 = scalar path
   std::uint64_t requests = 0;   // requests replayed per iteration
-  std::string mode;             // free-form: "scalar", "batch", ...
+  std::string mode;             // free-form: "scalar", "batch", "overload"
+  /// Extra pre-rendered JSON members spliced verbatim into the object
+  /// (e.g. "\"shed\":12,\"timed_out\":0"). The caller owns validity;
+  /// tools/check_bench_floors.py reads the overload accounting fields
+  /// from here. Empty = none.
+  std::string extra;
 };
 
 /// Appends `row` (plus the build's git revision) as one self-contained
@@ -100,7 +105,12 @@ inline void AppendBenchJson(const BenchJsonRow& row) {
   line.append(std::to_string(row.requests));
   line.append(",\"mode\":\"");
   line.append(sweep::JsonEscaped(row.mode));
-  line.append("\",\"git_rev\":\"");
+  line.push_back('"');
+  if (!row.extra.empty()) {
+    line.push_back(',');
+    line.append(row.extra);
+  }
+  line.append(",\"git_rev\":\"");
   line.append(sweep::JsonEscaped(CLIC_GIT_REV));
   line.append("\"}\n");
   std::fwrite(line.data(), 1, line.size(), f);

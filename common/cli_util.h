@@ -108,7 +108,11 @@ inline std::uint64_t ParseU64(const char* prog, const std::string& flag,
   errno = 0;
   char* end = nullptr;
   const std::uint64_t parsed = std::strtoull(value.c_str(), &end, 10);
-  if (errno != 0 || end == value.c_str() || *end != '\0' || parsed == 0) {
+  // strtoull silently wraps a negative input ("-3" parses as 2^64 - 3),
+  // so a sign character must be rejected up front, not trusted to the
+  // library.
+  if (value.empty() || value[0] == '-' || value[0] == '+' || errno != 0 ||
+      end == value.c_str() || *end != '\0' || parsed == 0) {
     Die(prog, flag + "='" + value + "' is not a positive integer");
   }
   return parsed;

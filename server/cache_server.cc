@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/fnv1a.h"
+#include "common/rng.h"
 
 namespace clic::server {
 
@@ -63,9 +64,87 @@ SimResult PartitionedSimulate(const Trace& trace, const ServerOptions& options,
   return merged;
 }
 
+Trace FilterShedBatches(const Trace& trace, const LoadOptions& load,
+                        const fault::FaultPlan* plan,
+                        std::uint64_t request_budget) {
+  Trace out;
+  out.name = trace.name;
+  out.hints = trace.hints;  // read-only alias, like PartitionedSimulate
+  out.client_bound = trace.client_bound;
+  const std::uint64_t n =
+      request_budget > 0 ? std::min<std::uint64_t>(trace.size(), request_budget)
+                         : trace.size();
+  const std::uint64_t every = plan != nullptr ? plan->shed_every : 0;
+  out.requests.reserve(static_cast<std::size_t>(n));
+  const std::uint64_t clients = std::max<std::size_t>(1, load.clients);
+  const std::uint64_t batch = std::max<std::size_t>(1, load.batch_size);
+  // Mirrors ServeTrace's driver loop exactly: contiguous per-client
+  // chunks, fixed batch grid, 1-based per-client submit index.
+  for (std::uint64_t c = 0; c < clients; ++c) {
+    const std::uint64_t begin = n * c / clients;
+    const std::uint64_t end = n * (c + 1) / clients;
+    std::uint64_t index = 0;
+    for (std::uint64_t pos = begin; pos < end; pos += batch) {
+      ++index;
+      if (every > 0 && index % every == 0) continue;
+      const std::uint64_t count = std::min<std::uint64_t>(batch, end - pos);
+      out.requests.insert(
+          out.requests.end(), trace.requests.begin() + static_cast<long>(pos),
+          trace.requests.begin() + static_cast<long>(pos + count));
+    }
+  }
+  return out;
+}
+
+const char* SubmitResultName(SubmitResult r) {
+  switch (r) {
+    case SubmitResult::kApplied: return "applied";
+    case SubmitResult::kEnqueued: return "enqueued";
+    case SubmitResult::kShed: return "shed";
+    case SubmitResult::kTimedOut: return "timed_out";
+    case SubmitResult::kExpired: return "expired";
+    case SubmitResult::kStopped: return "stopped";
+  }
+  return "unknown";
+}
+
+const char* AdmissionPolicyName(AdmissionPolicy p) {
+  switch (p) {
+    case AdmissionPolicy::kBlock: return "block";
+    case AdmissionPolicy::kBlockWithDeadline: return "deadline";
+    case AdmissionPolicy::kShed: return "shed";
+  }
+  return "unknown";
+}
+
+std::optional<AdmissionPolicy> ParseAdmissionPolicy(const std::string& name) {
+  if (name == "block") return AdmissionPolicy::kBlock;
+  if (name == "deadline") return AdmissionPolicy::kBlockWithDeadline;
+  if (name == "shed") return AdmissionPolicy::kShed;
+  return std::nullopt;
+}
+
+namespace {
+
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 CacheServer::CacheServer(const ServerOptions& options, std::size_t num_clients)
     : pages_per_shard_(ShardCachePages(options.cache_pages, options.shards)),
-      deterministic_(options.deterministic) {
+      deterministic_(options.deterministic),
+      queue_cap_(options.queue_cap),
+      admission_(options.admission),
+      submit_timeout_ms_(options.submit_timeout_ms),
+      batch_deadline_ms_(options.batch_deadline_ms),
+      watchdog_ms_(options.watchdog_ms),
+      hint_bound_(options.hint_bound),
+      record_drain_latency_(options.record_drain_latency),
+      fault_(options.fault) {
   if (options.shards == 0) {
     throw std::invalid_argument("CacheServer: shards must be >= 1");
   }
@@ -76,6 +155,27 @@ CacheServer::CacheServer(const ServerOptions& options, std::size_t num_clients)
     throw std::invalid_argument(
         "CacheServer: OPT is clairvoyant and cannot serve an online "
         "request stream");
+  }
+  if (queue_cap_ > 0 && admission_ == AdmissionPolicy::kBlockWithDeadline &&
+      submit_timeout_ms_ <= 0.0) {
+    throw std::invalid_argument(
+        "CacheServer: admission=deadline needs submit_timeout_ms > 0");
+  }
+  if (fault_ != nullptr) {
+    if (fault_->HasCorruption() && hint_bound_ == 0) {
+      throw std::invalid_argument(
+          "CacheServer: hint corruption injection requires the hint-sanity "
+          "guard (hint_bound > 0) — an unguarded corrupted hint id could "
+          "force a gigantic per-hint allocation");
+    }
+    for (const fault::ShardStall& s : fault_->stalls) {
+      if (s.shard >= options.shards) {
+        throw std::invalid_argument(
+            "CacheServer: fault plan stalls shard " +
+            std::to_string(s.shard) + " but the server has only " +
+            std::to_string(options.shards) + " shard(s)");
+      }
+    }
   }
   shards_.reserve(options.shards);
   for (std::size_t s = 0; s < options.shards; ++s) {
@@ -113,20 +213,147 @@ CacheServer::CacheServer(const ServerOptions& options, std::size_t num_clients)
 
 CacheServer::~CacheServer() { Shutdown(); }
 
-void CacheServer::Submit(std::size_t client, const Request* requests,
-                         std::size_t n) {
-  if (n == 0) return;
+SubmitResult CacheServer::Admit(ClientQueue& q, Batch* batch) {
+  const std::size_t n = batch->n;
+  std::unique_lock<std::mutex> lock(q.mu);
+  q.adm.submitted_batches += 1;
+  q.adm.submitted_requests += n;
+  batch->submit_index = ++q.submit_counter;
+  if (stop_.load(std::memory_order_relaxed)) {
+    q.adm.stopped_batches += 1;
+    q.adm.stopped_requests += n;
+    return SubmitResult::kStopped;
+  }
+  // Deterministic overload injection: a pure function of (client,
+  // submit index), so a verify run can reconstruct the shed set.
+  if (fault_ != nullptr && fault_->shed_every > 0 &&
+      batch->submit_index % fault_->shed_every == 0) {
+    q.adm.shed_batches += 1;
+    q.adm.shed_requests += n;
+    return SubmitResult::kShed;
+  }
+  // Watchdog: shed traffic aimed at a shard whose in-flight drain has
+  // been running past the threshold. The page scan runs only on the
+  // degraded path (some shard already looked stalled).
+  if (watchdog_ms_ > 0.0) {
+    const std::int64_t now_ns = NowNs();
+    bool any_stalled = false;
+    const std::int64_t limit_ns =
+        static_cast<std::int64_t>(watchdog_ms_ * 1e6);
+    for (const auto& shard : shards_) {
+      const std::int64_t busy =
+          shard->busy_since_ns.load(std::memory_order_relaxed);
+      if (busy != 0 && now_ns - busy > limit_ns) {
+        any_stalled = true;
+        break;
+      }
+    }
+    if (any_stalled &&
+        TouchesStalledShard(batch->requests, n, now_ns)) {
+      q.adm.shed_batches += 1;
+      q.adm.shed_requests += n;
+      watchdog_sheds_.fetch_add(1, std::memory_order_relaxed);
+      return SubmitResult::kShed;
+    }
+  }
+  if (queue_cap_ > 0 && q.pending.size() >= queue_cap_) {
+    switch (admission_) {
+      case AdmissionPolicy::kShed:
+        q.adm.shed_batches += 1;
+        q.adm.shed_requests += n;
+        return SubmitResult::kShed;
+      case AdmissionPolicy::kBlock:
+        q.space.wait(lock, [this, &q] {
+          return q.pending.size() < queue_cap_ ||
+                 stop_.load(std::memory_order_relaxed);
+        });
+        break;
+      case AdmissionPolicy::kBlockWithDeadline: {
+        const bool got_space = q.space.wait_for(
+            lock,
+            std::chrono::duration<double, std::milli>(submit_timeout_ms_),
+            [this, &q] {
+              return q.pending.size() < queue_cap_ ||
+                     stop_.load(std::memory_order_relaxed);
+            });
+        if (!got_space && !stop_.load(std::memory_order_relaxed)) {
+          q.adm.timed_out_batches += 1;
+          q.adm.timed_out_requests += n;
+          return SubmitResult::kTimedOut;
+        }
+        break;
+      }
+    }
+    if (stop_.load(std::memory_order_relaxed)) {
+      q.adm.stopped_batches += 1;
+      q.adm.stopped_requests += n;
+      return SubmitResult::kStopped;
+    }
+  }
+  if (batch_deadline_ms_ > 0.0) {
+    batch->deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               batch_deadline_ms_));
+  }
+  q.adm.enqueued_batches += 1;
+  q.adm.enqueued_requests += n;
+  q.pending.push_back(batch);
+  lock.unlock();
+  q.arrival.notify_all();
+  return SubmitResult::kEnqueued;
+}
+
+bool CacheServer::TouchesStalledShard(const Request* reqs, std::size_t n,
+                                      std::int64_t now_ns) const {
+  const std::int64_t limit_ns = static_cast<std::int64_t>(watchdog_ms_ * 1e6);
+  // Small fixed bitmap would do, but shards_.size() is tiny and this
+  // runs only while a shard is actually wedged.
+  std::vector<bool> stalled(shards_.size(), false);
+  bool any = false;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::int64_t busy =
+        shards_[s]->busy_since_ns.load(std::memory_order_relaxed);
+    if (busy != 0 && now_ns - busy > limit_ns) {
+      stalled[s] = true;
+      any = true;
+    }
+  }
+  if (!any) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (stalled[ShardOf(reqs[i].page, shards_.size())]) return true;
+  }
+  return false;
+}
+
+SubmitResult CacheServer::Submit(std::size_t client, const Request* requests,
+                                 std::size_t n) {
+  if (n == 0) return SubmitResult::kApplied;
   Batch batch;
   batch.requests = requests;
   batch.n = n;
+  batch.client = static_cast<ClientId>(client);
   ClientQueue& q = *queues_.at(client);
-  {
-    std::lock_guard<std::mutex> lock(q.mu);
-    q.pending.push_back(&batch);
-  }
-  q.arrival.notify_all();
+  const SubmitResult admitted = Admit(q, &batch);
+  if (admitted != SubmitResult::kEnqueued) return admitted;
   std::unique_lock<std::mutex> lock(q.mu);
-  q.applied.wait(lock, [&batch] { return batch.applied; });
+  q.done_cv.wait(lock, [&batch] { return batch.done; });
+  return batch.result;
+}
+
+SubmitResult CacheServer::SubmitAsync(std::size_t client,
+                                      const Request* requests, std::size_t n) {
+  if (n == 0) return SubmitResult::kEnqueued;
+  ClientQueue& q = *queues_.at(client);
+  auto* batch = new Batch;
+  batch->owned.assign(requests, requests + n);
+  batch->requests = batch->owned.data();
+  batch->n = n;
+  batch->client = static_cast<ClientId>(client);
+  batch->async = true;
+  const SubmitResult admitted = Admit(q, batch);
+  if (admitted != SubmitResult::kEnqueued) delete batch;
+  return admitted;
 }
 
 void CacheServer::Finish(std::size_t client) {
@@ -139,25 +366,178 @@ void CacheServer::Finish(std::size_t client) {
 }
 
 void CacheServer::Shutdown() {
-  if (shut_down_) return;
-  shut_down_ = true;
+  if (joined_) return;
+  joined_ = true;
   for (std::thread& t : consumers_) t.join();
 }
 
-void CacheServer::ApplyBatch(std::size_t consumer_index, const Batch& batch) {
+void CacheServer::Stop() {
+  stop_.store(true, std::memory_order_seq_cst);
+  for (auto& qp : queues_) {
+    // Empty critical section: any waiter that re-checks its predicate
+    // after this point holds the mutex and therefore observes stop_.
+    { std::lock_guard<std::mutex> lock(qp->mu); }
+    qp->arrival.notify_all();
+    qp->space.notify_all();
+    qp->done_cv.notify_all();
+  }
+  Shutdown();
+}
+
+void CacheServer::CompleteBatch(ClientQueue& q, Batch* batch,
+                                SubmitResult result) {
+  const bool async = batch->async;
+  const std::size_t n = batch->n;
+  {
+    std::lock_guard<std::mutex> lock(q.mu);
+    switch (result) {
+      case SubmitResult::kApplied:
+        q.adm.applied_batches += 1;
+        q.adm.applied_requests += n;
+        break;
+      case SubmitResult::kExpired:
+        q.adm.expired_batches += 1;
+        q.adm.expired_requests += n;
+        break;
+      case SubmitResult::kStopped:
+        q.adm.stopped_batches += 1;
+        q.adm.stopped_requests += n;
+        break;
+      default:
+        assert(false && "CompleteBatch: not a completion result");
+        break;
+    }
+    batch->result = result;
+    batch->done = true;
+  }
+  q.done_cv.notify_all();
+  if (async) delete batch;
+}
+
+void CacheServer::AbortPending(ClientQueue& q) {
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (q.pending.empty()) break;
+      batch = q.pending.front();
+      q.pending.pop_front();
+    }
+    CompleteBatch(q, batch, SubmitResult::kStopped);
+  }
+  q.space.notify_all();
+}
+
+void CacheServer::StallIfPlanned(Shard& shard, std::size_t shard_index) {
+  for (const fault::ShardStall& s : fault_->stalls) {
+    if (s.shard != shard_index) continue;
+    if (shard.drains < s.after_drain ||
+        shard.drains >= s.after_drain + s.drains) {
+      continue;
+    }
+    // Sleep in 1ms slices so Stop() never waits out a long stall.
+    double remaining_ms = s.ms;
+    while (remaining_ms > 0.0 && !stop_.load(std::memory_order_relaxed)) {
+      const double slice = std::min(remaining_ms, 1.0);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(slice));
+      remaining_ms -= slice;
+    }
+  }
+}
+
+void CacheServer::PauseIfPlanned(std::size_t consumer_index,
+                                 Scratch& scratch) {
+  for (const fault::ConsumerPause& p : fault_->pauses) {
+    if (p.consumer != consumer_index) continue;
+    if (scratch.batches_processed < p.after_batch ||
+        scratch.batches_processed >= p.after_batch + p.batches) {
+      continue;
+    }
+    double remaining_ms = p.ms;
+    while (remaining_ms > 0.0 && !stop_.load(std::memory_order_relaxed)) {
+      const double slice = std::min(remaining_ms, 1.0);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(slice));
+      remaining_ms -= slice;
+    }
+  }
+}
+
+const Request* CacheServer::PrepareRequests(Scratch& scratch,
+                                            const Batch& batch,
+                                            std::uint64_t* quarantined_out) {
+  const Request* reqs = batch.requests;
+  bool mutated = false;
+  if (fault_ != nullptr && fault_->corrupt_every > 0 &&
+      batch.submit_index % fault_->corrupt_every == 0) {
+    scratch.mutated.assign(reqs, reqs + batch.n);
+    // Per-batch seeding: the same (plan seed, client, submit index)
+    // always flips the same bits, so corruption replays bit-identically
+    // no matter how drains interleave.
+    Fnv1a mix;
+    mix.MixScalar(fault_->seed);
+    mix.MixScalar(batch.client);
+    mix.MixScalar(batch.submit_index);
+    Rng rng(mix.value());
+    for (std::uint32_t f = 0; f < fault_->corrupt_flips; ++f) {
+      Request& victim = scratch.mutated[rng.Below(batch.n)];
+      victim.hint_set ^= 1u << rng.Below(32);
+    }
+    reqs = scratch.mutated.data();
+    mutated = true;
+  }
+  std::uint64_t bad = 0;
+  if (hint_bound_ > 0) {
+    for (std::size_t i = 0; i < batch.n; ++i) {
+      bad += reqs[i].hint_set >= hint_bound_ ? 1 : 0;
+    }
+    if (bad > 0) {
+      if (!mutated) {
+        scratch.mutated.assign(reqs, reqs + batch.n);
+        reqs = scratch.mutated.data();
+        mutated = true;
+      }
+      for (std::size_t i = 0; i < batch.n; ++i) {
+        if (scratch.mutated[i].hint_set >= hint_bound_) {
+          // Quarantine: the reserved untrusted bucket, one past every
+          // legitimate id. The policy sees a well-formed hint set whose
+          // priority reflects the untrusted traffic's own behaviour;
+          // within its rank bucket, eviction order is LRU.
+          scratch.mutated[i].hint_set = hint_bound_;
+        }
+      }
+    }
+  }
+  *quarantined_out = bad;
+  return reqs;
+}
+
+void CacheServer::ApplyBatch(std::size_t consumer_index, Batch& batch) {
   Scratch& scratch = scratch_[consumer_index];
+  std::uint64_t quarantined = 0;
+  const Request* requests = PrepareRequests(scratch, batch, &quarantined);
   // The hit buffer is (re)sized outside any shard lock; AccessBatch
   // itself never allocates.
   if (scratch.hits.size() < batch.n) scratch.hits.resize(batch.n);
   std::uint8_t* const hits = scratch.hits.data();
+  const bool count_quarantine = quarantined > 0;
 
-  auto apply_range = [this, hits](Shard& shard, const Request* reqs,
-                                  std::size_t count) {
+  auto apply_range = [this, hits, count_quarantine](
+                         Shard& shard, std::size_t shard_index,
+                         const Request* reqs, std::size_t count) {
     std::lock_guard<std::mutex> lock(shard.mu);
 #ifndef NDEBUG
     assert(!shard.entered && "two consumers inside one shard's policy");
     shard.entered = true;
 #endif
+    const std::int64_t drain_start_ns = NowNs();
+    // Published before any injected stall so the watchdog sees the full
+    // in-flight time of a wedged drain.
+    shard.busy_since_ns.store(drain_start_ns, std::memory_order_relaxed);
+    if (fault_ != nullptr && fault_->HasStalls()) {
+      StallIfPlanned(shard, shard_index);
+    }
     // One virtual dispatch per drained run — the whole reason the drain
     // loop gathers contiguous per-shard request spans.
     shard.policy->AccessBatch(reqs, shard.seq, count, hits);
@@ -169,25 +549,38 @@ void CacheServer::ApplyBatch(std::size_t consumer_index, const Batch& batch) {
       }
       shard.client_stats[r.client].Record(r, hits[i] != 0);
     }
+    if (count_quarantine) {
+      // Only remapped requests carry the reserved id, so this recovers
+      // the per-shard quarantine attribution without a second pass on
+      // the trusted fast path.
+      for (std::size_t i = 0; i < count; ++i) {
+        shard.quarantined += reqs[i].hint_set == hint_bound_ ? 1 : 0;
+      }
+    }
     shard.requests += count;
     ++shard.drains;
+    if (record_drain_latency_) {
+      shard.drain_us.push_back(static_cast<double>(NowNs() - drain_start_ns) /
+                               1e3);
+    }
+    shard.busy_since_ns.store(0, std::memory_order_relaxed);
 #ifndef NDEBUG
     shard.entered = false;
 #endif
   };
 
   if (shards_.size() == 1) {
-    apply_range(*shards_[0], batch.requests, batch.n);
+    apply_range(*shards_[0], 0, requests, batch.n);
   } else {
     auto& buckets = scratch.buckets;
     for (auto& b : buckets) b.clear();
     for (std::size_t i = 0; i < batch.n; ++i) {
-      buckets[ShardOf(batch.requests[i].page, shards_.size())].push_back(
-          batch.requests[i]);
+      buckets[ShardOf(requests[i].page, shards_.size())].push_back(
+          requests[i]);
     }
     for (std::size_t s = 0; s < buckets.size(); ++s) {
       if (buckets[s].empty()) continue;
-      apply_range(*shards_[s], buckets[s].data(), buckets[s].size());
+      apply_range(*shards_[s], s, buckets[s].data(), buckets[s].size());
     }
   }
   batches_applied_.fetch_add(1, std::memory_order_relaxed);
@@ -195,13 +588,14 @@ void CacheServer::ApplyBatch(std::size_t consumer_index, const Batch& batch) {
 
 void CacheServer::ConsumeRoundRobin(std::size_t consumer_index) {
   const std::size_t workers = scratch_.size();
+  Scratch& scratch = scratch_[consumer_index];
   std::vector<std::size_t> mine;
   for (std::size_t c = consumer_index; c < queues_.size(); c += workers) {
     mine.push_back(c);
   }
   std::vector<bool> drained(mine.size(), false);
   std::size_t remaining = mine.size();
-  while (remaining > 0) {
+  while (remaining > 0 && !stop_.load(std::memory_order_relaxed)) {
     bool progress = false;
     for (std::size_t i = 0; i < mine.size(); ++i) {
       if (drained[i]) continue;
@@ -219,12 +613,19 @@ void CacheServer::ConsumeRoundRobin(std::size_t consumer_index) {
         }
       }
       if (batch != nullptr) {
-        ApplyBatch(consumer_index, *batch);
-        {
-          std::lock_guard<std::mutex> lock(q.mu);
-          batch->applied = true;
+        q.space.notify_one();  // one queue slot freed at pop time
+        if (fault_ != nullptr && fault_->HasPauses()) {
+          PauseIfPlanned(consumer_index, scratch);
         }
-        q.applied.notify_all();
+        SubmitResult outcome = SubmitResult::kApplied;
+        if (batch->deadline != Clock::time_point{} &&
+            Clock::now() > batch->deadline) {
+          outcome = SubmitResult::kExpired;  // stale: drop, don't serve
+        } else {
+          ApplyBatch(consumer_index, *batch);
+        }
+        ++scratch.batches_processed;
+        CompleteBatch(q, batch, outcome);
         progress = true;
       }
     }
@@ -236,12 +637,18 @@ void CacheServer::ConsumeRoundRobin(std::size_t consumer_index) {
         if (drained[i]) continue;
         ClientQueue& q = *queues_[mine[i]];
         std::unique_lock<std::mutex> lock(q.mu);
-        q.arrival.wait_for(lock, std::chrono::milliseconds(1), [&q] {
-          return !q.pending.empty() || q.eos;
+        q.arrival.wait_for(lock, std::chrono::milliseconds(1), [this, &q] {
+          return !q.pending.empty() || q.eos ||
+                 stop_.load(std::memory_order_relaxed);
         });
         break;
       }
     }
+  }
+  if (stop_.load(std::memory_order_relaxed)) {
+    // Discard everything still queued for my clients, with exact
+    // accounting; producers blocked on done_cv wake with kStopped.
+    for (std::size_t c : mine) AbortPending(*queues_[c]);
   }
 }
 
@@ -249,13 +656,22 @@ void CacheServer::ConsumeInClientOrder() {
   // Strict client order: the per-shard request sequence is then the
   // shard-filtered concatenation of client streams, which is what the
   // determinism guarantee (see header) promises.
-  for (std::size_t c = 0; c < queues_.size(); ++c) {
+  Scratch& scratch = scratch_[0];
+  bool stopping = false;
+  for (std::size_t c = 0; c < queues_.size() && !stopping; ++c) {
     ClientQueue& q = *queues_[c];
     for (;;) {
       Batch* batch = nullptr;
       {
         std::unique_lock<std::mutex> lock(q.mu);
-        q.arrival.wait(lock, [&q] { return !q.pending.empty() || q.eos; });
+        q.arrival.wait(lock, [this, &q] {
+          return !q.pending.empty() || q.eos ||
+                 stop_.load(std::memory_order_relaxed);
+        });
+        if (stop_.load(std::memory_order_relaxed)) {
+          stopping = true;
+          break;
+        }
         if (!q.pending.empty()) {
           batch = q.pending.front();
           q.pending.pop_front();
@@ -263,13 +679,23 @@ void CacheServer::ConsumeInClientOrder() {
           break;  // eos and empty: this client's stream is complete
         }
       }
-      ApplyBatch(0, *batch);
-      {
-        std::lock_guard<std::mutex> lock(q.mu);
-        batch->applied = true;
+      q.space.notify_one();
+      if (fault_ != nullptr && fault_->HasPauses()) {
+        PauseIfPlanned(0, scratch);
       }
-      q.applied.notify_all();
+      SubmitResult outcome = SubmitResult::kApplied;
+      if (batch->deadline != Clock::time_point{} &&
+          Clock::now() > batch->deadline) {
+        outcome = SubmitResult::kExpired;
+      } else {
+        ApplyBatch(0, *batch);
+      }
+      ++scratch.batches_processed;
+      CompleteBatch(q, batch, outcome);
     }
+  }
+  if (stopping) {
+    for (auto& qp : queues_) AbortPending(*qp);
   }
 }
 
@@ -320,9 +746,48 @@ std::uint64_t CacheServer::shard_drains() const {
   return total;
 }
 
+AdmissionStats CacheServer::TotalAdmission() const {
+  AdmissionStats total;
+  for (const auto& qp : queues_) {
+    std::lock_guard<std::mutex> lock(qp->mu);
+    total += qp->adm;
+  }
+  return total;
+}
+
+std::vector<AdmissionStats> CacheServer::PerClientAdmission() const {
+  std::vector<AdmissionStats> out;
+  out.reserve(queues_.size());
+  for (const auto& qp : queues_) {
+    std::lock_guard<std::mutex> lock(qp->mu);
+    out.push_back(qp->adm);
+  }
+  return out;
+}
+
+std::uint64_t CacheServer::quarantined() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->quarantined;
+  return total;
+}
+
+std::uint64_t CacheServer::watchdog_sheds() const {
+  return watchdog_sheds_.load(std::memory_order_relaxed);
+}
+
+std::vector<double> CacheServer::DrainLatenciesUs() const {
+  std::vector<double> merged;
+  for (const auto& shard : shards_) {
+    merged.insert(merged.end(), shard->drain_us.begin(),
+                  shard->drain_us.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  return merged;
+}
+
 namespace {
 
-double PercentileUs(std::vector<double>& sorted_us, double q) {
+double PercentileUs(const std::vector<double>& sorted_us, double q) {
   if (sorted_us.empty()) return 0.0;
   const std::size_t rank = static_cast<std::size_t>(
       std::min<double>(static_cast<double>(sorted_us.size() - 1),
@@ -367,6 +832,7 @@ ServeResult ServeTrace(const Trace& trace, const ServerOptions& options,
       const bool timed = load.duration_seconds > 0.0;
       bool first_pass = true;
       bool out_of_time = false;
+      bool stopped = false;
       do {
         for (std::uint64_t pos = begin; pos < end; pos += load.batch_size) {
           // The first pass always completes — every request is applied
@@ -375,12 +841,32 @@ ServeResult ServeTrace(const Trace& trace, const ServerOptions& options,
           const std::size_t count = static_cast<std::size_t>(
               std::min<std::uint64_t>(load.batch_size, end - pos));
           const auto t0 = std::chrono::steady_clock::now();
-          server.Submit(c, trace.requests.data() + pos, count);
+          const SubmitResult outcome =
+              server.Submit(c, trace.requests.data() + pos, count);
           const std::chrono::duration<double, std::micro> took =
               std::chrono::steady_clock::now() - t0;
-          lat.push_back(took.count());
           stats.requests += count;
           ++stats.batches;
+          switch (outcome) {
+            case SubmitResult::kApplied:
+              lat.push_back(took.count());
+              break;
+            case SubmitResult::kShed:
+              ++stats.shed_batches;
+              break;
+            case SubmitResult::kTimedOut:
+              ++stats.timed_out_batches;
+              break;
+            case SubmitResult::kExpired:
+              ++stats.expired_batches;
+              break;
+            case SubmitResult::kStopped:
+              stopped = true;
+              break;
+            case SubmitResult::kEnqueued:
+              break;  // unreachable for closed-loop Submit
+          }
+          if (stopped) break;
           if (timed) {
             const std::chrono::duration<double> elapsed =
                 std::chrono::steady_clock::now() - wall_start;
@@ -388,7 +874,7 @@ ServeResult ServeTrace(const Trace& trace, const ServerOptions& options,
           }
         }
         first_pass = false;
-      } while (timed && !out_of_time && begin < end);
+      } while (timed && !out_of_time && !stopped && begin < end);
       server.Finish(c);
     });
   }
@@ -409,6 +895,14 @@ ServeResult ServeTrace(const Trace& trace, const ServerOptions& options,
           ? static_cast<double>(result.requests) /
                 static_cast<double>(result.shard_drains)
           : 0.0;
+  result.admission = server.TotalAdmission();
+  result.quarantined = server.quarantined();
+  result.watchdog_sheds = server.watchdog_sheds();
+  if (options.record_drain_latency) {
+    const std::vector<double> drain_us = server.DrainLatenciesUs();
+    result.drain_p50_us = PercentileUs(drain_us, 0.50);
+    result.drain_p99_us = PercentileUs(drain_us, 0.99);
+  }
   result.wall_seconds = wall.count();
   result.throughput_rps =
       wall.count() > 0 ? static_cast<double>(result.requests) / wall.count()

@@ -18,19 +18,36 @@
 // bit-identical to per-shard sequential Simulate() of the partitioned
 // trace; ServeTrace arranges client chunks so their concatenation is the
 // original trace.
+//
+// Failure model (see DESIGN.md "Failure model & degradation"): every
+// resource a producer can exhaust is bounded and every wait can be
+// bounded. Admission into a client queue honours a depth cap under one
+// of three policies (block / block-with-deadline / shed), drained
+// batches can carry a service deadline past which they are dropped
+// instead of served stale, a watchdog sheds traffic routed at a shard
+// whose in-flight drain has exceeded a threshold, a hint-sanity guard
+// quarantines corrupted hint ids into an untrusted fallback bucket
+// instead of letting them index (or explode) policy state, and Stop()
+// aborts a wedged run — unblocking producers, discarding queued work
+// with exact accounting, and joining all consumers. Deterministic fault
+// injection (server/fault_injection.h) drives all of it reproducibly.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/clic.h"
+#include "server/fault_injection.h"
 #include "sim/policy_factory.h"
 #include "sim/simulator.h"
 
@@ -52,6 +69,7 @@ std::size_t ShardCachePages(std::size_t total_pages, std::size_t shards);
 std::vector<Trace> PartitionByShard(const Trace& trace, std::size_t shards);
 
 struct ServerOptions;  // below
+struct LoadOptions;    // below
 
 /// Per-shard sequential Simulate() of the (budget-capped) partitioned
 /// trace, merged across shards: the ground truth the deterministic
@@ -61,6 +79,72 @@ struct ServerOptions;  // below
 /// whole trace.
 SimResult PartitionedSimulate(const Trace& trace, const ServerOptions& options,
                               std::uint64_t request_budget = 0);
+
+/// The requests a deterministic run with fault plan `plan` actually
+/// serves: the budget-capped trace, chunked and batched exactly as
+/// ServeTrace's drivers do, with every batch the plan's `shed_every`
+/// rule rejects removed. With no plan (or no shed clause) this is the
+/// capped trace itself. PartitionedSimulate of this filtered trace is
+/// the verify baseline for a chaos run — non-shed requests must produce
+/// bit-identical decisions.
+Trace FilterShedBatches(const Trace& trace, const LoadOptions& load,
+                        const fault::FaultPlan* plan,
+                        std::uint64_t request_budget);
+
+/// What Submit/SubmitAsync did with a batch.
+enum class SubmitResult : std::uint8_t {
+  kApplied,   // closed-loop Submit: every request was applied
+  kEnqueued,  // open-loop SubmitAsync: admitted; applied later
+  kShed,      // rejected at admission (cap, watchdog, or fault plan)
+  kTimedOut,  // kBlockWithDeadline wait for queue space expired
+  kExpired,   // admitted, but its service deadline passed before drain
+  kStopped,   // Stop() aborted it (while waiting, queued, or in flight)
+};
+const char* SubmitResultName(SubmitResult r);
+
+/// Producer behaviour when a client queue is at its depth cap.
+enum class AdmissionPolicy : std::uint8_t {
+  kBlock,              // wait for space (the pre-cap closed-loop behaviour)
+  kBlockWithDeadline,  // wait up to submit_timeout_ms, then kTimedOut
+  kShed,               // reject immediately with kShed
+};
+const char* AdmissionPolicyName(AdmissionPolicy p);
+std::optional<AdmissionPolicy> ParseAdmissionPolicy(const std::string& name);
+
+/// Exact admission/backpressure accounting, per client and aggregated.
+/// Invariants (asserted by tests/test_fault_injection.cc and gated in
+/// CI by tools/check_bench_floors.py on bench_overload rows):
+///   submitted == enqueued + shed + timed_out + stopped_at_admission
+///   enqueued  == applied + expired + stopped_in_queue
+/// so submitted == applied + shed + timed_out + expired + stopped,
+/// batch- and request-granular, with nothing counted twice or lost.
+struct AdmissionStats {
+  std::uint64_t submitted_batches = 0, submitted_requests = 0;
+  std::uint64_t enqueued_batches = 0, enqueued_requests = 0;
+  std::uint64_t applied_batches = 0, applied_requests = 0;
+  std::uint64_t shed_batches = 0, shed_requests = 0;
+  std::uint64_t timed_out_batches = 0, timed_out_requests = 0;
+  std::uint64_t expired_batches = 0, expired_requests = 0;
+  std::uint64_t stopped_batches = 0, stopped_requests = 0;
+
+  AdmissionStats& operator+=(const AdmissionStats& o) {
+    submitted_batches += o.submitted_batches;
+    submitted_requests += o.submitted_requests;
+    enqueued_batches += o.enqueued_batches;
+    enqueued_requests += o.enqueued_requests;
+    applied_batches += o.applied_batches;
+    applied_requests += o.applied_requests;
+    shed_batches += o.shed_batches;
+    shed_requests += o.shed_requests;
+    timed_out_batches += o.timed_out_batches;
+    timed_out_requests += o.timed_out_requests;
+    expired_batches += o.expired_batches;
+    expired_requests += o.expired_requests;
+    stopped_batches += o.stopped_batches;
+    stopped_requests += o.stopped_requests;
+    return *this;
+  }
+};
 
 struct ServerOptions {
   std::size_t shards = 1;
@@ -75,6 +159,41 @@ struct ServerOptions {
   /// Consumer thread cap for the non-deterministic mode; 0 = choose
   /// from hardware concurrency.
   unsigned max_consumers = 0;
+
+  // ---- overload resilience (all off by default: the pre-existing
+  // infinite-patience closed-loop behaviour) ----
+
+  /// Max pending batches per client queue; 0 = unbounded.
+  std::size_t queue_cap = 0;
+  /// What a producer does when the queue is at queue_cap.
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  /// Wait bound for kBlockWithDeadline, in milliseconds (must be > 0
+  /// when that policy is selected and queue_cap > 0).
+  double submit_timeout_ms = 0.0;
+  /// > 0: a drained batch older than this (submit-to-drain) is dropped
+  /// as kExpired instead of served stale.
+  double batch_deadline_ms = 0.0;
+  /// > 0: admission sheds any batch containing a request routed to a
+  /// shard whose in-flight drain has been running longer than this.
+  /// Recovery is automatic the moment the stalled drain completes.
+  double watchdog_ms = 0.0;
+  /// > 0: hint-sanity guard. A drained request with hint_set >=
+  /// hint_bound (possible only via corruption — trace loading validates
+  /// ids) is quarantined: remapped to the reserved untrusted hint id
+  /// `hint_bound` and counted, instead of indexing policy state with
+  /// garbage (for CLIC a huge id would force a gigantic per-hint
+  /// allocation). The untrusted bucket earns its own Equation-2
+  /// priority; within its rank bucket eviction order is LRU, so
+  /// degraded service stays sane. 0 = guard off (trusted callers).
+  std::uint32_t hint_bound = 0;
+  /// Record per-drain latencies (lock-held time per shard batch
+  /// application) so DrainLatencyPercentiles() works. Off by default:
+  /// the sample vectors allocate during serving.
+  bool record_drain_latency = false;
+  /// Deterministic fault injection; not owned, may be nullptr (no
+  /// faults — the hooks cost one branch per drain). A plan with
+  /// corruption requires hint_bound > 0 (constructor-enforced).
+  const fault::FaultPlan* fault = nullptr;
 };
 
 /// A multi-tenant sharded cache server. Usage:
@@ -82,23 +201,38 @@ struct ServerOptions {
 ///   ... client threads call Submit(client, batch...) repeatedly,
 ///       then Finish(client) exactly once ...
 ///   server.Shutdown();   // joins consumers; stats become readable
-/// Submit blocks until the batch has been applied (closed loop).
+/// Submit blocks until the batch has been applied (closed loop);
+/// SubmitAsync returns at admission (open loop, server copies the
+/// batch). Stop() aborts a run from any thread: blocked producers
+/// return kStopped, queued batches are discarded with exact accounting,
+/// and consumers join.
 class CacheServer {
  public:
   /// Builds shards and starts consumer threads. Throws
   /// std::invalid_argument for unusable options (zero shards/clients,
-  /// OPT policy).
+  /// OPT policy, deadline admission without a timeout, corruption
+  /// injection without a hint guard).
   CacheServer(const ServerOptions& options, std::size_t num_clients);
   ~CacheServer();
 
   CacheServer(const CacheServer&) = delete;
   CacheServer& operator=(const CacheServer&) = delete;
 
-  /// Enqueues one batch for `client` and blocks until every request in
-  /// it has been applied to its shard. Safe to call from many client
-  /// threads concurrently (one in flight per client at a time keeps the
-  /// closed-loop semantics; the queue itself accepts any producer).
-  void Submit(std::size_t client, const Request* requests, std::size_t n);
+  /// Closed loop: admits one batch for `client` and blocks until every
+  /// request in it has been applied to its shard — or until admission
+  /// rejects it (kShed / kTimedOut), its deadline expires in queue
+  /// (kExpired), or Stop() aborts the run (kStopped). Safe to call from
+  /// many client threads concurrently. The caller keeps ownership of
+  /// `requests`; they are not copied and must stay valid until return.
+  SubmitResult Submit(std::size_t client, const Request* requests,
+                      std::size_t n);
+
+  /// Open loop: admits one batch and returns immediately (kEnqueued on
+  /// success). The server copies the requests, so the caller's buffer
+  /// may be reused at once. Outcomes past admission (applied / expired
+  /// / stopped) land in the admission stats, not the return value.
+  SubmitResult SubmitAsync(std::size_t client, const Request* requests,
+                           std::size_t n);
 
   /// Marks `client`'s stream complete. Every client must be finished
   /// before Shutdown() returns.
@@ -108,8 +242,17 @@ class CacheServer {
   /// Idempotent; called by the destructor if needed.
   void Shutdown();
 
+  /// Aborts the run: producers blocked at admission (or waiting for a
+  /// closed-loop batch) return kStopped, every still-queued batch is
+  /// discarded and counted as stopped, and consumers exit after the
+  /// batch they are currently applying (a fault-injected stall checks
+  /// the stop flag every millisecond, so even a stalled shard unwinds
+  /// promptly). Joins the consumers before returning; idempotent, and
+  /// a later Shutdown() is a no-op.
+  void Stop();
+
   // Stats. Exact (every applied request is counted under its shard
-  // lock); call after Shutdown() for a quiescent snapshot.
+  // lock); call after Shutdown()/Stop() for a quiescent snapshot.
   CacheStats TotalStats() const;
   std::map<ClientId, CacheStats> PerClientStats() const;
   std::vector<CacheStats> PerShardStats() const;
@@ -121,27 +264,53 @@ class CacheServer {
   /// batch size divided by how many shards each batch straddled.
   std::uint64_t shard_drains() const;
 
+  /// Admission/backpressure accounting (see AdmissionStats invariants).
+  AdmissionStats TotalAdmission() const;
+  std::vector<AdmissionStats> PerClientAdmission() const;
+  /// Requests remapped to the untrusted hint bucket by the sanity
+  /// guard — the degraded-mode counter.
+  std::uint64_t quarantined() const;
+  /// Batches shed by the watchdog (subset of the shed counts).
+  std::uint64_t watchdog_sheds() const;
+  /// Sorted per-drain latencies in microseconds, merged across shards.
+  /// Empty unless options.record_drain_latency was set.
+  std::vector<double> DrainLatenciesUs() const;
+
   std::size_t shards() const { return shards_.size(); }
   std::size_t pages_per_shard() const { return pages_per_shard_; }
   unsigned consumers() const { return static_cast<unsigned>(consumers_.size()); }
 
  private:
-  /// One submitted batch, owned by the submitting thread; `applied` is
-  /// signalled under the owning queue's mutex.
+  using Clock = std::chrono::steady_clock;
+
+  /// One submitted batch. Closed-loop batches live on the producer's
+  /// stack and point at caller memory; open-loop batches are heap-
+  /// allocated, own a copy in `owned`, and are deleted by the consumer.
+  /// `done`/`result` are written under the owning queue's mutex.
   struct Batch {
     const Request* requests = nullptr;
     std::size_t n = 0;
-    bool applied = false;
+    std::vector<Request> owned;  // open-loop storage
+    Clock::time_point deadline{};  // epoch = no deadline
+    std::uint64_t submit_index = 0;  // 1-based per client; drives faults
+    ClientId client = 0;
+    bool async = false;
+    bool done = false;
+    SubmitResult result = SubmitResult::kApplied;
   };
 
   /// Per-client ingress queue: producers push under `mu`, the assigned
   /// consumer pops. MPSC by construction (any thread may produce for
-  /// the client; exactly one consumer services the queue).
+  /// the client; exactly one consumer services the queue). `adm` is the
+  /// queue's exact admission ledger, mutated only under `mu`.
   struct ClientQueue {
     std::mutex mu;
-    std::condition_variable arrival;   // consumer waits: batch or eos
-    std::condition_variable applied;   // producer waits: batch done
+    std::condition_variable arrival;   // consumer waits: batch, eos, stop
+    std::condition_variable space;     // producer waits: below queue_cap
+    std::condition_variable done_cv;   // producer waits: batch done
     std::deque<Batch*> pending;
+    AdmissionStats adm;
+    std::uint64_t submit_counter = 0;  // 1-based index for fault hooks
     bool eos = false;
   };
 
@@ -156,6 +325,12 @@ class CacheServer {
     std::vector<CacheStats> client_stats;  // indexed by Request::client
     std::uint64_t requests = 0;
     std::uint64_t drains = 0;  // AccessBatch calls (= lock acquisitions)
+    std::uint64_t quarantined = 0;  // untrusted-hint remaps in this shard
+    std::vector<double> drain_us;   // per-drain latency samples (opt-in)
+    /// Nanoseconds-since-steady-epoch when the in-flight drain started,
+    /// 0 when idle. Written by the draining consumer, read lock-free by
+    /// the admission watchdog.
+    std::atomic<std::int64_t> busy_since_ns{0};
 #ifndef NDEBUG
     bool entered = false;  // set/cleared under mu; asserts single entry
 #endif
@@ -164,15 +339,40 @@ class CacheServer {
   /// Per-consumer scratch, reused across batches so the drain path
   /// allocates only on capacity growth: each submitted batch is
   /// gathered into contiguous per-shard request runs (AccessBatch
-  /// takes a contiguous span) plus one hit-byte buffer.
+  /// takes a contiguous span) plus one hit-byte buffer. `mutated`
+  /// holds the writable copy a corruption or quarantine pass needs.
   struct Scratch {
     std::vector<std::vector<Request>> buckets;  // one per shard
     std::vector<std::uint8_t> hits;
+    std::vector<Request> mutated;
+    std::uint64_t batches_processed = 0;  // drives consumer-pause faults
   };
 
-  void ApplyBatch(std::size_t consumer_index, const Batch& batch);
+  /// Shared admission path. Returns kEnqueued and transfers `batch`
+  /// into the queue on success; any other result means the batch was
+  /// not enqueued (and, for async batches, that the caller must free
+  /// it). All accounting happens here under q.mu.
+  SubmitResult Admit(ClientQueue& q, Batch* batch);
+  /// True when `reqs` contains a request routed at a shard whose
+  /// in-flight drain exceeds the watchdog threshold. Only called on the
+  /// degraded path (some shard already looked stalled).
+  bool TouchesStalledShard(const Request* reqs, std::size_t n,
+                           std::int64_t now_ns) const;
+  void ApplyBatch(std::size_t consumer_index, Batch& batch);
+  /// Marks `batch` done with `result` under q.mu, updates the ledger,
+  /// wakes a closed-loop producer or frees an open-loop batch.
+  void CompleteBatch(ClientQueue& q, Batch* batch, SubmitResult result);
+  /// Discards every still-pending batch of `q` as kStopped.
+  void AbortPending(ClientQueue& q);
   void ConsumeRoundRobin(std::size_t consumer_index);
   void ConsumeInClientOrder();
+  void StallIfPlanned(Shard& shard, std::size_t shard_index);
+  void PauseIfPlanned(std::size_t consumer_index, Scratch& scratch);
+  /// Applies the plan's seeded hint corruption and/or the hint-sanity
+  /// quarantine to the batch, switching `reqs` to the scratch copy when
+  /// a mutation is actually needed. Returns the effective request span.
+  const Request* PrepareRequests(Scratch& scratch, const Batch& batch,
+                                 std::uint64_t* quarantined_out);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<ClientQueue>> queues_;
@@ -180,8 +380,18 @@ class CacheServer {
   std::vector<Scratch> scratch_;
   std::size_t pages_per_shard_ = 0;
   bool deterministic_ = false;
-  bool shut_down_ = false;
+  bool joined_ = false;
+  std::size_t queue_cap_ = 0;
+  AdmissionPolicy admission_ = AdmissionPolicy::kBlock;
+  double submit_timeout_ms_ = 0.0;
+  double batch_deadline_ms_ = 0.0;
+  double watchdog_ms_ = 0.0;
+  std::uint32_t hint_bound_ = 0;
+  bool record_drain_latency_ = false;
+  const fault::FaultPlan* fault_ = nullptr;
+  std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> batches_applied_{0};
+  std::atomic<std::uint64_t> watchdog_sheds_{0};
 };
 
 /// Closed-loop load generation against a CacheServer.
@@ -202,8 +412,11 @@ struct LoadOptions {
 };
 
 struct ClientLoadStats {
-  std::uint64_t requests = 0;
-  std::uint64_t batches = 0;
+  std::uint64_t requests = 0;  // submitted by this driver
+  std::uint64_t batches = 0;   // submitted by this driver
+  std::uint64_t shed_batches = 0;
+  std::uint64_t timed_out_batches = 0;
+  std::uint64_t expired_batches = 0;
   double p50_us = 0.0;  // per-batch submit-to-applied latency
   double p99_us = 0.0;
 };
@@ -213,6 +426,7 @@ struct ServeResult {
   std::map<ClientId, CacheStats> per_client;  // keyed by Request::client
   std::vector<CacheStats> per_shard;
   std::vector<ClientLoadStats> per_driver;  // indexed by driver client
+  /// Applied requests/batches (what reached a shard policy).
   std::uint64_t requests = 0;
   std::uint64_t batches = 0;
   /// Per-shard AccessBatch applications; requests / shard_drains is the
@@ -220,15 +434,23 @@ struct ServeResult {
   /// survives hash-sharding — the lock-amortization actually achieved).
   std::uint64_t shard_drains = 0;
   double avg_drained_batch = 0.0;
+  /// Exact admission ledger across all clients.
+  AdmissionStats admission;
+  std::uint64_t quarantined = 0;
+  std::uint64_t watchdog_sheds = 0;
   double wall_seconds = 0.0;
   double throughput_rps = 0.0;
-  double p50_us = 0.0;  // across all drivers' batches
+  double p50_us = 0.0;  // across all drivers' applied batches
   double p99_us = 0.0;
+  double drain_p50_us = 0.0;  // per-shard-drain latency (opt-in)
+  double drain_p99_us = 0.0;
 };
 
 /// Replays `trace` against a fresh CacheServer with `load.clients`
 /// closed-loop driver threads. Throws std::invalid_argument for
 /// incompatible options (deterministic + duration, zero clients/batch).
+/// Batches rejected by admission (shed / timed out / expired) are
+/// counted and skipped; the driver moves on to the next batch.
 ServeResult ServeTrace(const Trace& trace, const ServerOptions& options,
                        const LoadOptions& load);
 

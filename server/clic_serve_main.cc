@@ -40,6 +40,11 @@ struct CliOptions {
   std::uint64_t requests = 0;  // 0 = CLIC_BENCH_REQUESTS / default cap
   std::string format = "csv";
   std::string output;  // empty = stdout
+  /// Parsed --fault-plan; server.fault points here when one was given
+  /// (CliOptions is copied once out of Parse, so the pointer is wired
+  /// up in Main after the copy settles).
+  fault::FaultPlan fault_plan;
+  bool has_fault_plan = false;
 };
 
 void Usage(std::FILE* out) {
@@ -72,7 +77,24 @@ void Usage(std::FILE* out) {
       "  --deterministic    single consumer, strict client order: hit\n"
       "                     counts match per-shard sequential Simulate()\n"
       "  --verify           with --deterministic: check that equivalence\n"
-      "                     in-process, exit 1 on any mismatch\n"
+      "                     in-process, exit 1 on any mismatch (with a\n"
+      "                     shedding fault plan, the baseline excludes\n"
+      "                     the deterministically shed batches)\n"
+      "\n"
+      "Overload resilience (all off by default):\n"
+      "  --queue-cap=N      max pending batches per client queue\n"
+      "  --admission=P      block | deadline | shed: producer behaviour\n"
+      "                     at a full queue (deadline needs\n"
+      "                     --submit-timeout-ms)\n"
+      "  --submit-timeout-ms=F  wait bound for --admission=deadline\n"
+      "  --deadline-ms=F    drop batches older than this at drain time\n"
+      "                     instead of serving them stale\n"
+      "  --watchdog-ms=F    shed batches routed at a shard whose\n"
+      "                     in-flight drain exceeds this threshold\n"
+      "  --fault-plan=SPEC  deterministic fault injection, e.g.\n"
+      "                     'stall:shard=0,after=10,drains=5,ms=50;\n"
+      "                     shed:every=7;seed=42' (grammar in\n"
+      "                     server/fault_injection.h)\n"
       "\n"
       "CLIC options (when --policy=CLIC):\n"
       "  --window=W --decay=R --outqueue=N --no-charge-metadata\n"
@@ -169,6 +191,29 @@ CliOptions Parse(int argc, char** argv) {
           static_cast<std::size_t>(cli::ParseU64(kProg, key, value));
     } else if (key == "--requests") {
       opts.requests = cli::ParseU64(kProg, key, value);
+    } else if (key == "--queue-cap") {
+      opts.server.queue_cap =
+          static_cast<std::size_t>(cli::ParseU64(kProg, key, value));
+    } else if (key == "--admission") {
+      const std::optional<AdmissionPolicy> policy =
+          ParseAdmissionPolicy(value);
+      if (!policy) {
+        Die("unknown --admission='" + value +
+            "' (valid: block, deadline, shed)");
+      }
+      opts.server.admission = *policy;
+    } else if (key == "--submit-timeout-ms") {
+      opts.server.submit_timeout_ms = cli::ParseDouble(kProg, key, value);
+    } else if (key == "--deadline-ms") {
+      opts.server.batch_deadline_ms = cli::ParseDouble(kProg, key, value);
+    } else if (key == "--watchdog-ms") {
+      opts.server.watchdog_ms = cli::ParseDouble(kProg, key, value);
+    } else if (key == "--fault-plan") {
+      std::string error;
+      if (!fault::ParseFaultPlan(value, &opts.fault_plan, &error)) {
+        Die(error);
+      }
+      opts.has_fault_plan = true;
     } else if (key == "--duration") {
       opts.load.duration_seconds = cli::ParseDouble(kProg, key, value);
     } else if (key == "--cache-dir") {
@@ -216,6 +261,37 @@ CliOptions Parse(int argc, char** argv) {
     Die("--deterministic and --duration are incompatible: duration mode "
         "replays in wall-clock order");
   }
+  if (opts.server.queue_cap > 0 &&
+      opts.server.admission == AdmissionPolicy::kBlockWithDeadline &&
+      opts.server.submit_timeout_ms <= 0.0) {
+    Die("--admission=deadline requires --submit-timeout-ms > 0 (got " +
+        std::to_string(opts.server.submit_timeout_ms) + ")");
+  }
+  if (opts.verify) {
+    // --verify proves bit-identity against a sequential baseline; these
+    // mechanisms are timing-dependent (watchdog, deadlines) or mutate
+    // requests (corruption), so no baseline exists for them.
+    if (opts.has_fault_plan && opts.fault_plan.HasCorruption()) {
+      Die("--verify cannot be combined with a corrupt: fault clause "
+          "(corruption mutates served requests, so no fault-free baseline "
+          "matches)");
+    }
+    if (opts.server.watchdog_ms > 0.0) {
+      Die("--verify cannot be combined with --watchdog-ms (watchdog sheds "
+          "are wall-clock dependent, so the served set is not "
+          "reproducible)");
+    }
+    if (opts.server.batch_deadline_ms > 0.0) {
+      Die("--verify cannot be combined with --deadline-ms (deadline "
+          "expiry is wall-clock dependent, so the served set is not "
+          "reproducible)");
+    }
+    if (opts.server.queue_cap > 0 &&
+        opts.server.admission != AdmissionPolicy::kBlock) {
+      Die("--verify needs --admission=block (shed/deadline admission "
+          "makes the served set timing-dependent)");
+    }
+  }
   return opts;
 }
 
@@ -230,10 +306,11 @@ SimResult AsSimResult(const ServeResult& result) {
 
 std::string CsvSummaryHeader() {
   return "trace,policy,shards,clients,cache_pages,pages_per_shard,batch,"
-         "deterministic,requests,batches,shard_drains,avg_drained_batch,"
-         "reads,writes,read_hits,write_hits,"
-         "read_hit_ratio,write_hit_ratio,wall_seconds,throughput_rps,p50_us,"
-         "p99_us,per_client";
+         "deterministic,admission,queue_cap,requests,batches,shard_drains,"
+         "avg_drained_batch,reads,writes,read_hits,write_hits,"
+         "read_hit_ratio,write_hit_ratio,submitted_requests,shed_requests,"
+         "timed_out_requests,expired_requests,quarantined,watchdog_sheds,"
+         "wall_seconds,throughput_rps,p50_us,p99_us,per_client";
 }
 
 std::string CsvSummaryRow(const CliOptions& opts, const ServeResult& r,
@@ -255,6 +332,10 @@ std::string CsvSummaryRow(const CliOptions& opts, const ServeResult& r,
   out.push_back(',');
   out.append(opts.server.deterministic ? "1" : "0");
   out.push_back(',');
+  out.append(AdmissionPolicyName(opts.server.admission));
+  out.push_back(',');
+  out.append(std::to_string(opts.server.queue_cap));
+  out.push_back(',');
   out.append(std::to_string(r.requests));
   out.push_back(',');
   out.append(std::to_string(r.batches));
@@ -274,6 +355,18 @@ std::string CsvSummaryRow(const CliOptions& opts, const ServeResult& r,
   AppendDouble(&out, r.total.ReadHitRatio());
   out.push_back(',');
   AppendDouble(&out, r.total.WriteHitRatio());
+  out.push_back(',');
+  out.append(std::to_string(r.admission.submitted_requests));
+  out.push_back(',');
+  out.append(std::to_string(r.admission.shed_requests));
+  out.push_back(',');
+  out.append(std::to_string(r.admission.timed_out_requests));
+  out.push_back(',');
+  out.append(std::to_string(r.admission.expired_requests));
+  out.push_back(',');
+  out.append(std::to_string(r.quarantined));
+  out.push_back(',');
+  out.append(std::to_string(r.watchdog_sheds));
   out.push_back(',');
   AppendDouble(&out, r.wall_seconds);
   out.push_back(',');
@@ -305,6 +398,22 @@ std::string JsonSummary(const CliOptions& opts, const ServeResult& r,
   out.append(std::to_string(opts.load.batch_size));
   out.append(",\"deterministic\":");
   out.append(opts.server.deterministic ? "true" : "false");
+  out.append(",\"admission\":\"");
+  out.append(AdmissionPolicyName(opts.server.admission));
+  out.append("\",\"queue_cap\":");
+  out.append(std::to_string(opts.server.queue_cap));
+  out.append(",\"submitted_requests\":");
+  out.append(std::to_string(r.admission.submitted_requests));
+  out.append(",\"shed_requests\":");
+  out.append(std::to_string(r.admission.shed_requests));
+  out.append(",\"timed_out_requests\":");
+  out.append(std::to_string(r.admission.timed_out_requests));
+  out.append(",\"expired_requests\":");
+  out.append(std::to_string(r.admission.expired_requests));
+  out.append(",\"quarantined\":");
+  out.append(std::to_string(r.quarantined));
+  out.append(",\"watchdog_sheds\":");
+  out.append(std::to_string(r.watchdog_sheds));
   out.append(",\"requests\":");
   out.append(std::to_string(r.requests));
   out.append(",\"batches\":");
@@ -434,7 +543,8 @@ int Verify(const ServeResult& served, const SimResult& expected) {
 }
 
 int Main(int argc, char** argv) {
-  const CliOptions opts = Parse(argc, argv);
+  CliOptions opts = Parse(argc, argv);
+  if (opts.has_fault_plan) opts.server.fault = &opts.fault_plan;
 
   const std::string dir =
       opts.cache_dir.empty() ? sweep::CacheDirFromEnv() : opts.cache_dir;
@@ -442,6 +552,20 @@ int Main(int argc, char** argv) {
       opts.requests > 0 ? opts.requests : sweep::RequestCapFromEnv();
   sweep::TraceCache cache(dir, cap);
   const Trace& trace = cache.Get(opts.trace);
+
+  const std::uint64_t effective =
+      cap > 0 ? std::min<std::uint64_t>(trace.size(), cap) : trace.size();
+  if (opts.load.batch_size > effective) {
+    Die("--batch=" + std::to_string(opts.load.batch_size) +
+        " exceeds the request budget of " + std::to_string(effective) +
+        " (a batch larger than the whole run is a typo, not a workload)");
+  }
+
+  // Hint-sanity guard: every id the trace legitimately uses is below
+  // the registry size, so anything >= is corruption and gets
+  // quarantined into the reserved untrusted bucket.
+  opts.server.hint_bound =
+      static_cast<std::uint32_t>(trace.hints ? trace.hints->size() : 0);
 
   LoadOptions load = opts.load;
   load.request_budget = cap;
@@ -473,9 +597,49 @@ int Main(int argc, char** argv) {
     Die(e.what());
   }
 
+  // The admission ledger must balance exactly on every run, fault plan
+  // or not: a request the server neither applied nor accounted for as
+  // rejected is a lost write from the client's point of view.
+  const AdmissionStats& adm = result.admission;
+  if (adm.submitted_requests !=
+          adm.applied_requests + adm.shed_requests + adm.timed_out_requests +
+              adm.expired_requests + adm.stopped_requests ||
+      adm.submitted_batches !=
+          adm.applied_batches + adm.shed_batches + adm.timed_out_batches +
+              adm.expired_batches + adm.stopped_batches) {
+    std::fprintf(
+        stderr,
+        "clic_serve: ADMISSION LEDGER BROKEN: submitted=%llu/%llu != "
+        "applied=%llu/%llu + shed=%llu/%llu + timed_out=%llu/%llu + "
+        "expired=%llu/%llu + stopped=%llu/%llu (batches/requests)\n",
+        static_cast<unsigned long long>(adm.submitted_batches),
+        static_cast<unsigned long long>(adm.submitted_requests),
+        static_cast<unsigned long long>(adm.applied_batches),
+        static_cast<unsigned long long>(adm.applied_requests),
+        static_cast<unsigned long long>(adm.shed_batches),
+        static_cast<unsigned long long>(adm.shed_requests),
+        static_cast<unsigned long long>(adm.timed_out_batches),
+        static_cast<unsigned long long>(adm.timed_out_requests),
+        static_cast<unsigned long long>(adm.expired_batches),
+        static_cast<unsigned long long>(adm.expired_requests),
+        static_cast<unsigned long long>(adm.stopped_batches),
+        static_cast<unsigned long long>(adm.stopped_requests));
+    return 1;
+  }
+
   int exit_code = 0;
   if (opts.verify) {
-    exit_code = Verify(result, PartitionedSimulate(trace, opts.server, cap));
+    // With a shedding fault plan, the deterministic baseline is the
+    // capped trace minus the deterministically shed batches; non-shed
+    // requests must still produce bit-identical decisions.
+    if (opts.server.fault != nullptr &&
+        opts.server.fault->shed_every > 0) {
+      const Trace filtered =
+          FilterShedBatches(trace, load, opts.server.fault, cap);
+      exit_code = Verify(result, PartitionedSimulate(filtered, opts.server));
+    } else {
+      exit_code = Verify(result, PartitionedSimulate(trace, opts.server, cap));
+    }
   }
 
   if (opts.format == "csv") {
@@ -503,6 +667,20 @@ int Main(int argc, char** argv) {
                static_cast<unsigned long long>(result.requests),
                result.wall_seconds, result.throughput_rps, result.p50_us,
                result.p99_us, result.avg_drained_batch);
+  if (result.admission.shed_requests + result.admission.timed_out_requests +
+          result.admission.expired_requests + result.quarantined >
+      0) {
+    std::fprintf(
+        stderr,
+        "clic_serve: degraded-mode counters: shed %llu, timed out %llu, "
+        "expired %llu requests; quarantined hints %llu; watchdog sheds "
+        "%llu batches\n",
+        static_cast<unsigned long long>(result.admission.shed_requests),
+        static_cast<unsigned long long>(result.admission.timed_out_requests),
+        static_cast<unsigned long long>(result.admission.expired_requests),
+        static_cast<unsigned long long>(result.quarantined),
+        static_cast<unsigned long long>(result.watchdog_sheds));
+  }
   return exit_code;
 }
 

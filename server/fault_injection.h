@@ -1,0 +1,103 @@
+// Deterministic fault injection for the online cache server.
+//
+// A FaultPlan is a seeded, declarative description of the chaos a run
+// should experience: shard stalls (the drain path holds the shard lock
+// and sleeps, as a seized disk or a page-compression stall would),
+// consumer pauses (the drain thread naps between batches, as a noisy
+// neighbour or a GC pause would), deterministic admission shedding
+// (every k-th batch of every client is rejected, simulating an
+// overloaded front end with a reproducible victim set), client burst
+// multipliers (drivers submit bursts of batches back to back), and
+// hint-corruption byte flips (seeded bit flips in Request::hint_set at
+// drain time, feeding the kind of garbage a torn wire message would).
+//
+// Determinism contract: every fault fires on a *logical* index — a
+// shard's drain count, a consumer's processed-batch count, a client's
+// 1-based submit index — never on wall-clock time, and corruption draws
+// from an RNG seeded by (plan seed, client, submit index). Replaying
+// the same plan against the same workload therefore injects the same
+// faults at the same points; in deterministic server mode the surviving
+// requests' hit/miss decisions are bit-identical run to run.
+//
+// The server compiles the hooks behind a `fault_ == nullptr` check, so
+// a plan-free run pays one predictable branch per drain and nothing
+// else (see server/cache_server.cc).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clic::server::fault {
+
+/// Shard `shard` sleeps `ms` milliseconds at the start of each of its
+/// drains [after_drain, after_drain + drains), while holding the shard
+/// lock — the canonical "one slow shard" scenario. The sleep loop
+/// checks the server's stop flag every millisecond so Stop() never
+/// waits out a long stall.
+struct ShardStall {
+  std::size_t shard = 0;
+  std::uint64_t after_drain = 0;
+  std::uint64_t drains = 1;
+  double ms = 1.0;
+};
+
+/// Consumer thread `consumer` sleeps `ms` milliseconds before each of
+/// its processed batches [after_batch, after_batch + batches).
+struct ConsumerPause {
+  std::size_t consumer = 0;
+  std::uint64_t after_batch = 0;
+  std::uint64_t batches = 1;
+  double ms = 1.0;
+};
+
+struct FaultPlan {
+  /// Seed for the corruption RNG (mixed with client id and submit
+  /// index, so corruption is per-batch deterministic regardless of
+  /// drain interleaving).
+  std::uint64_t seed = 1;
+  std::vector<ShardStall> stalls;
+  std::vector<ConsumerPause> pauses;
+  /// > 0: admission deterministically sheds every `shed_every`-th batch
+  /// of each client (1-based per-client submit index). The shed set is
+  /// a pure function of the plan, so a verify run can simulate exactly
+  /// the surviving requests.
+  std::uint64_t shed_every = 0;
+  /// >= 1: load drivers (bench_overload, open-loop tests) submit this
+  /// many batches back to back per cycle instead of one.
+  std::uint64_t burst = 1;
+  /// > 0: every `corrupt_every`-th drained batch of each client gets
+  /// `corrupt_flips` seeded single-bit flips in Request::hint_set
+  /// fields. Requires the server's hint-sanity guard (hint_bound > 0):
+  /// an unguarded corrupted hint id could index policy state out of
+  /// range or force a gigantic per-hint allocation.
+  std::uint64_t corrupt_every = 0;
+  std::uint32_t corrupt_flips = 1;
+
+  bool HasStalls() const { return !stalls.empty(); }
+  bool HasPauses() const { return !pauses.empty(); }
+  bool HasCorruption() const { return corrupt_every > 0; }
+  /// True when the plan can alter which requests get served or what
+  /// they look like — i.e. when served decisions are NOT comparable to
+  /// a fault-free run of the full trace. Stalls and pauses only delay.
+  bool AltersServedRequests() const {
+    return shed_every > 0 || corrupt_every > 0;
+  }
+};
+
+/// Parses the textual plan grammar:
+///
+///   plan    := clause (';' clause)*
+///   clause  := 'seed=' N | 'burst=' N
+///            | 'stall:'   'shard=' N ',after=' N ',drains=' N ',ms=' F
+///            | 'pause:'   'consumer=' N ',after=' N ',batches=' N ',ms=' F
+///            | 'shed:'    'every=' N
+///            | 'corrupt:' 'every=' N [',flips=' N]
+///
+/// Keys within a clause may appear in any order; unlisted keys keep
+/// their defaults. Returns false and fills `*error` (naming the
+/// offending clause or key and the valid set) on any malformed input.
+bool ParseFaultPlan(const std::string& spec, FaultPlan* out,
+                    std::string* error);
+
+}  // namespace clic::server::fault

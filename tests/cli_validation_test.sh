@@ -91,6 +91,42 @@ expect_reject "clic_serve verify without deterministic" "--verify" "--determinis
 expect_reject "clic_serve deterministic duration clash" "--duration" "--deterministic" -- \
   "$SERVE" --trace=DB2_C60 --deterministic --duration=1
 
+# Overload-resilience flags (PR 6): zero and negative numeric values
+# must be rejected up front — strtoull would otherwise wrap "-3" to
+# 2^64-3 and size a 16-exabyte queue.
+expect_reject "clic_serve zero shards" "--shards" "positive integer" -- \
+  "$SERVE" --trace=DB2_C60 --shards=0
+expect_reject "clic_serve negative clients wraparound" "-3" "positive integer" -- \
+  "$SERVE" --trace=DB2_C60 --clients=-3
+expect_reject "clic_serve zero batch" "--batch" "positive integer" -- \
+  "$SERVE" --trace=DB2_C60 --batch=0
+expect_reject "clic_serve zero cache pages" "--cache-pages" "positive integer" -- \
+  "$SERVE" --trace=DB2_C60 --cache-pages=0
+expect_reject "clic_serve negative queue cap" "--queue-cap" "positive integer" -- \
+  "$SERVE" --trace=DB2_C60 --queue-cap=-1
+expect_reject "clic_serve unknown admission policy" "bogus" "deadline" -- \
+  "$SERVE" --trace=DB2_C60 --admission=bogus
+expect_reject "clic_serve unknown fault clause" "flood" "stall:" -- \
+  "$SERVE" --trace=DB2_C60 --fault-plan=flood:every=2
+expect_reject "clic_serve fault clause missing field" "shed" "every" -- \
+  "$SERVE" --trace=DB2_C60 --fault-plan=shed:
+expect_reject "clic_serve deadline admission without timeout" "--submit-timeout-ms" "--admission=deadline" -- \
+  "$SERVE" --trace=DB2_C60 --queue-cap=4 --admission=deadline
+expect_reject "clic_serve verify vs corruption" "corrupt" "baseline" -- \
+  "$SERVE" --trace=DB2_C60 --deterministic --verify --fault-plan=corrupt:every=3
+expect_reject "clic_serve verify vs watchdog" "--watchdog-ms" "reproducible" -- \
+  "$SERVE" --trace=DB2_C60 --deterministic --verify --watchdog-ms=5
+expect_reject "clic_serve verify vs shed admission" "shed" "--admission=block" -- \
+  "$SERVE" --trace=DB2_C60 --deterministic --verify --queue-cap=4 --admission=shed
+
+# Batch larger than the request budget is a typo, not a workload. This
+# one loads (a tiny capped slice of) the trace, so point the cache at a
+# scratch dir to keep the test hermetic.
+scratch_cache=$(mktemp -d "${TMPDIR:-/tmp}/clic_cli_test.XXXXXX")
+expect_reject "clic_serve batch exceeds request budget" "--batch=4096" "request budget" -- \
+  "$SERVE" --trace=DB2_C60 --requests=64 --batch=4096 --cache-dir="$scratch_cache"
+rm -rf "$scratch_cache"
+
 # --help and --list must stay cheap and exit 0.
 for tool in "$SWEEP" "$SERVE"; do
   if ! "$tool" --help >/dev/null 2>&1; then

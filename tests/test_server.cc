@@ -270,5 +270,115 @@ TEST(CacheServerTest, ShardCachePagesSplitsBudget) {
   EXPECT_EQ(ShardCachePages(7, 2), 3u);
 }
 
+void ExpectExactLedger(const AdmissionStats& a) {
+  EXPECT_EQ(a.submitted_batches, a.applied_batches + a.shed_batches +
+                                     a.timed_out_batches + a.expired_batches +
+                                     a.stopped_batches);
+  EXPECT_EQ(a.submitted_requests,
+            a.applied_requests + a.shed_requests + a.timed_out_requests +
+                a.expired_requests + a.stopped_requests);
+}
+
+// Stop() while producers are blocked on a full queue: every blocked
+// producer must return kStopped promptly, nothing may hang, and the
+// ledger must account for every submitted batch exactly once.
+TEST(CacheServerShutdownTest, StopUnblocksProducersStuckOnFullQueue) {
+  const Trace trace = MakeSynthetic("stop-full", 47, 64 * 20, 1);
+  fault::FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(fault::ParseFaultPlan(
+      "stall:shard=0,after=0,drains=100000,ms=400", &plan, &error))
+      << error;
+  ServerOptions options;
+  options.shards = 1;
+  options.cache_pages = 32;
+  options.queue_cap = 1;
+  options.admission = AdmissionPolicy::kBlock;
+  options.fault = &plan;
+  CacheServer server(options, 1);
+  std::atomic<int> stopped_results{0};
+  std::atomic<std::uint64_t> submitted{0};
+  std::thread producer([&] {
+    // Closed-loop against a 400ms-per-drain consumer with cap 1: the
+    // producer wedges on the space CV almost immediately.
+    for (std::size_t pos = 0; pos + 64 <= trace.requests.size(); pos += 64) {
+      submitted.fetch_add(1);
+      const SubmitResult r = server.Submit(0, trace.requests.data() + pos, 64);
+      if (r == SubmitResult::kStopped) {
+        stopped_results.fetch_add(1);
+        break;
+      }
+    }
+    server.Finish(0);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  const auto t0 = std::chrono::steady_clock::now();
+  server.Stop();
+  producer.join();
+  const double stop_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(stop_seconds, 2.0) << "Stop() must not ride out queued stalls";
+  EXPECT_EQ(stopped_results.load(), 1)
+      << "the blocked producer must observe kStopped";
+  const AdmissionStats a = server.TotalAdmission();
+  EXPECT_EQ(a.submitted_batches, submitted.load());
+  ExpectExactLedger(a);
+}
+
+// Stop() while a fault-injected shard is mid-stall: the stall loop
+// checks the stop flag every millisecond, so shutdown must complete in
+// milliseconds, not after the remaining seconds of injected stall.
+TEST(CacheServerShutdownTest, StopReturnsPromptlyFromAStalledShard) {
+  const Trace trace = MakeSynthetic("stop-stall", 53, 64 * 4, 1);
+  fault::FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(fault::ParseFaultPlan("stall:shard=0,after=0,drains=4,ms=10000",
+                                    &plan, &error))
+      << error;
+  ServerOptions options;
+  options.shards = 1;
+  options.cache_pages = 32;
+  options.fault = &plan;
+  CacheServer server(options, 1);
+  for (std::size_t pos = 0; pos + 64 <= trace.requests.size(); pos += 64) {
+    ASSERT_EQ(server.SubmitAsync(0, trace.requests.data() + pos, 64),
+              SubmitResult::kEnqueued);
+  }
+  // Let the consumer enter the 10s stall before pulling the plug.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto t0 = std::chrono::steady_clock::now();
+  server.Stop();
+  const double stop_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(stop_seconds, 2.0)
+      << "a 10s injected stall must unwind at the next 1ms stop check";
+  const AdmissionStats a = server.TotalAdmission();
+  EXPECT_EQ(a.submitted_batches, 4u);
+  EXPECT_GE(a.stopped_batches, 1u) << "queued batches behind the stall are "
+                                      "discarded with exact accounting";
+  ExpectExactLedger(a);
+}
+
+// Stop() before any submission, double Stop(), and Stop() racing
+// Finish(): all must be clean no-ops or orderly aborts.
+TEST(CacheServerShutdownTest, StopIsIdempotentAndSafeWhenIdle) {
+  ServerOptions options;
+  options.shards = 2;
+  options.cache_pages = 16;
+  CacheServer server(options, 2);
+  server.Stop();
+  server.Stop();  // idempotent
+  EXPECT_EQ(server.Submit(0, nullptr, 0), SubmitResult::kApplied);
+  const Trace trace = MakeSynthetic("post-stop", 59, 64, 1);
+  // Submissions after Stop() are refused as kStopped, not lost.
+  EXPECT_EQ(server.Submit(0, trace.requests.data(), 64),
+            SubmitResult::kStopped);
+  EXPECT_EQ(server.SubmitAsync(1, trace.requests.data(), 64),
+            SubmitResult::kStopped);
+  ExpectExactLedger(server.TotalAdmission());
+}
+
 }  // namespace
 }  // namespace clic::server

@@ -5,8 +5,11 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "common/rng.h"
 #include "core/trace.h"
 
 namespace clic {
@@ -89,6 +92,148 @@ TEST_F(TraceIoTest, RejectsTruncation) {
   std::fclose(f);
   ASSERT_EQ(truncate(path_.c_str(), size - 9), 0);
   EXPECT_FALSE(LoadTrace(path_, "unit").has_value());
+}
+
+// ---------------------------------------------------------------------
+// Seeded corruption fuzzing. The format ends in an FNV-1a checksum of
+// everything before it, and FNV-1a's per-byte step (hash ^= byte, then
+// multiply by an odd prime) is bijective, so ANY single-bit flip in the
+// file must either trip a structural bound or miss the checksum — the
+// loader always fails closed, never returns a silently-different trace.
+// ---------------------------------------------------------------------
+
+Trace FuzzTrace() {
+  Trace trace;
+  trace.name = "fuzz";
+  Rng rng(0xF00D);
+  std::vector<HintSetId> ids;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    HintVector v;
+    v.client = static_cast<ClientId>(i % 4);
+    const std::size_t nattrs = rng.Below(5);
+    for (std::size_t a = 0; a < nattrs; ++a) {
+      v.attrs.push_back(static_cast<std::uint32_t>(rng.Below(1000)));
+    }
+    ids.push_back(trace.hints->Intern(std::move(v)));
+  }
+  for (std::size_t i = 0; i < 512; ++i) {
+    Request r;
+    r.page = static_cast<PageId>(rng.Below(4096));
+    r.hint_set = ids[rng.Below(ids.size())];
+    r.client = static_cast<ClientId>(rng.Below(4));
+    if (rng.Chance(0.3)) {
+      r.op = OpType::kWrite;
+      r.write_kind =
+          rng.Chance(0.5) ? WriteKind::kReplacement : WriteKind::kRecovery;
+    }
+    trace.requests.push_back(r);
+  }
+  return trace;
+}
+
+std::vector<unsigned char> ReadAll(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  std::vector<unsigned char> bytes(static_cast<std::size_t>(std::ftell(f)));
+  std::fseek(f, 0, SEEK_SET);
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteAll(const std::string& path,
+              const std::vector<unsigned char>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+TEST_F(TraceIoTest, BitFlipFuzzAlwaysFailsClosed) {
+  ASSERT_TRUE(SaveTrace(FuzzTrace(), path_));
+  const std::vector<unsigned char> pristine = ReadAll(path_);
+  ASSERT_GT(pristine.size(), 64u);
+  Rng rng(2009);  // deterministic: failures reproduce byte-for-byte
+  for (int round = 0; round < 256; ++round) {
+    std::vector<unsigned char> mutated = pristine;
+    const std::size_t offset = rng.Below(mutated.size());
+    const unsigned char mask =
+        static_cast<unsigned char>(1u << rng.Below(8));
+    mutated[offset] ^= mask;
+    WriteAll(path_, mutated);
+    EXPECT_FALSE(LoadTrace(path_, "fuzz").has_value())
+        << "bit flip at offset " << offset << " mask " << int(mask)
+        << " (round " << round << ") was silently accepted";
+  }
+  // Sanity: the pristine bytes still load, so the failures above came
+  // from the corruption, not from a broken fixture.
+  WriteAll(path_, pristine);
+  EXPECT_TRUE(LoadTrace(path_, "fuzz").has_value());
+}
+
+TEST_F(TraceIoTest, TruncationFuzzAlwaysFailsClosed) {
+  ASSERT_TRUE(SaveTrace(FuzzTrace(), path_));
+  const std::vector<unsigned char> pristine = ReadAll(path_);
+  Rng rng(2010);
+  for (int round = 0; round < 64; ++round) {
+    const std::size_t keep = rng.Below(pristine.size());  // < full size
+    WriteAll(path_, std::vector<unsigned char>(pristine.begin(),
+                                               pristine.begin() + keep));
+    EXPECT_FALSE(LoadTrace(path_, "fuzz").has_value())
+        << "truncation to " << keep << " of " << pristine.size()
+        << " bytes was accepted";
+  }
+}
+
+TEST_F(TraceIoTest, AbsurdHeaderCountsFailFastWithoutAllocating) {
+  const Trace trace = FuzzTrace();
+  ASSERT_TRUE(SaveTrace(trace, path_));
+  const std::vector<unsigned char> pristine = ReadAll(path_);
+
+  auto patch_u64 = [&](std::size_t offset, std::uint64_t value) {
+    std::vector<unsigned char> mutated = pristine;
+    ASSERT_LE(offset + sizeof(value), mutated.size());
+    std::memcpy(mutated.data() + offset, &value, sizeof(value));
+    WriteAll(path_, mutated);
+  };
+  auto patch_u32 = [&](std::size_t offset, std::uint32_t value) {
+    std::vector<unsigned char> mutated = pristine;
+    ASSERT_LE(offset + sizeof(value), mutated.size());
+    std::memcpy(mutated.data() + offset, &value, sizeof(value));
+    WriteAll(path_, mutated);
+  };
+
+  // Layout: magic(4) version(4) name_len(4) name then num_hints(8),
+  // per-hint {client(2) nattrs(4) attrs(4 each)}, num_requests(8).
+  const std::size_t num_hints_at = 12 + trace.name.size();
+  std::size_t num_requests_at = num_hints_at + 8;
+  for (HintSetId h = 0; h < trace.hints->size(); ++h) {
+    num_requests_at += sizeof(ClientId) + 4 +
+                       trace.hints->Get(h).attrs.size() * sizeof(std::uint32_t);
+  }
+
+  // A 16-exabyte hint count or request count must be rejected by the
+  // file-size bound before any resize() — a crash or bad_alloc here
+  // means the loader trusted the header.
+  patch_u64(num_hints_at, ~0ull);
+  EXPECT_FALSE(LoadTrace(path_, "fuzz").has_value());
+  patch_u64(num_hints_at, static_cast<std::uint64_t>(pristine.size()));
+  EXPECT_FALSE(LoadTrace(path_, "fuzz").has_value());
+  patch_u64(num_requests_at, ~0ull);
+  EXPECT_FALSE(LoadTrace(path_, "fuzz").has_value());
+  patch_u64(num_requests_at, static_cast<std::uint64_t>(pristine.size()));
+  EXPECT_FALSE(LoadTrace(path_, "fuzz").has_value());
+
+  // Oversized name length (caps at 4096) and first-hint nattrs (same
+  // cap) must also fail fast.
+  patch_u32(8, 0xFFFFFFFFu);
+  EXPECT_FALSE(LoadTrace(path_, "fuzz").has_value());
+  patch_u32(num_hints_at + 8 + sizeof(ClientId), 0xFFFFFFFFu);
+  EXPECT_FALSE(LoadTrace(path_, "fuzz").has_value());
+
+  WriteAll(path_, pristine);
+  EXPECT_TRUE(LoadTrace(path_, "fuzz").has_value());
 }
 
 }  // namespace

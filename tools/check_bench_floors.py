@@ -11,6 +11,13 @@ bench/README.md has carried since PR 1). Exit 2 for a missing/empty log
 or a policy with no rows at all, so a silently skipped bench can never
 pass the gate. Stdlib only; meant for the Release CI job (sanitizer
 builds are order-of-magnitude slower and do not gate floors).
+
+Rows with mode=="overload" (from bench_overload, PR 6) are gated on
+correctness instead of speed: the shed-accounting ledger must balance
+EXACTLY — submitted == served + shed + timed_out + expired + stopped —
+and each run must actually serve something. A request the server
+neither served nor accounted for as rejected is a lost write from the
+client's point of view, so any imbalance fails the build.
 """
 import json
 import sys
@@ -32,6 +39,8 @@ def main(argv):
         print(f"check_bench_floors: cannot read {path}: {e}", file=sys.stderr)
         return 2
     rows = 0
+    overload_rows = 0
+    overload_failures = 0
     for line in lines:
         line = line.strip()
         if not line:
@@ -39,6 +48,20 @@ def main(argv):
         row = json.loads(line)
         rows += 1
         name = row.get("bench", "")
+        if row.get("mode") == "overload":
+            overload_rows += 1
+            submitted = int(row.get("submitted", -1))
+            parts_sum = sum(int(row.get(k, 0)) for k in
+                            ("served", "shed", "timed_out", "expired",
+                             "stopped"))
+            served = int(row.get("served", 0))
+            if submitted < 0 or submitted != parts_sum or served <= 0:
+                print(f"check_bench_floors: {name}: overload ledger broken: "
+                      f"submitted={submitted} != served+shed+timed_out+"
+                      f"expired+stopped={parts_sum} (served={served})",
+                      file=sys.stderr)
+                overload_failures += 1
+            continue  # overload rows never feed the throughput floors
         rate = float(row.get("requests_per_sec", 0.0))
         # A row counts toward a policy when its bench name contains the
         # policy as a path component (Micro/requests_per_second/LRU,
@@ -51,7 +74,12 @@ def main(argv):
     if rows == 0:
         print(f"check_bench_floors: {path} has no rows", file=sys.stderr)
         return 2
-    failed = False
+    if overload_rows:
+        verdict = "OK" if overload_failures == 0 else "BROKEN"
+        print(f"check_bench_floors: overload ledger exact in "
+              f"{overload_rows - overload_failures}/{overload_rows} rows "
+              f"{verdict}")
+    failed = overload_failures > 0
     for policy, floor in floors.items():
         rate = best[policy]
         if rate is None:
