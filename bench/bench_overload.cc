@@ -62,6 +62,7 @@ struct RunOutcome {
   std::vector<std::uint64_t> shard_requests;  // applied, per shard
   std::vector<DriverOutcome> drivers;
   std::uint64_t watchdog_sheds = 0;
+  unsigned consumers = 0;  // owning-consumer threads the server ran
   double wall_seconds = 0.0;
   double drain_p50_us = 0.0;
   double drain_p99_us = 0.0;
@@ -122,8 +123,8 @@ RunOutcome RunOnce(const std::vector<Trace>& parts,
   options.shards = kShards;
   options.cache_pages = 12'000;
   options.policy = PolicyKind::kLru;
-  // One consumer per client even on a small CI box: a stalled consumer
-  // sleeps, so the healthy consumers keep the healthy shards fed.
+  // One owning consumer per shard even on a small CI box: a stalled
+  // owner sleeps, so the healthy owners keep their shards fed.
   options.max_consumers = static_cast<unsigned>(kShards);
   options.queue_cap = queue_cap;
   options.admission = admission;
@@ -175,6 +176,7 @@ RunOutcome RunOnce(const std::vector<Trace>& parts,
 
   out.adm = server.TotalAdmission();
   out.watchdog_sheds = server.watchdog_sheds();
+  out.consumers = server.consumers();
   for (const CacheStats& s : server.PerShardStats()) {
     out.shard_requests.push_back(s.reads + s.writes);
   }
@@ -287,6 +289,14 @@ void Overload(benchmark::State& state, const std::string& workload,
   extra.append(std::to_string(a.stopped_requests));
   extra.append(",\"watchdog_sheds\":");
   extra.append(std::to_string(faulted.watchdog_sheds));
+  extra.append(",\"consumers\":");
+  extra.append(std::to_string(faulted.consumers));
+  extra.append(",\"cores_detected\":");
+  extra.append(std::to_string(
+      std::max(1u, std::thread::hardware_concurrency())));
+  extra.append(",\"per_core_rps\":");
+  sweep::AppendDouble(
+      &extra, applied_rps / static_cast<double>(std::max(1u, faulted.consumers)));
   extra.append(",\"nonstalled_ratio\":");
   sweep::AppendDouble(&extra, ratio);
   row.extra = std::move(extra);

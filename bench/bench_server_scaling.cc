@@ -16,6 +16,7 @@
 // Counter `requests_per_sec` is the headline; `p99_us` tracks tail
 // batch latency so a throughput win can't silently buy unbounded
 // queueing delay.
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -56,8 +57,16 @@ void ServerScaling(benchmark::State& state, PolicyKind kind,
   state.counters["p99_us"] = result.p99_us;
   state.counters["read_hit_ratio"] = result.total.ReadHitRatio();
   // Consumer-side batching efficiency: how much of the submitted batch
-  // size survives hash-sharding (requests per shard-lock acquisition).
+  // size survives hash-sharding (requests per owning-core drain).
   state.counters["avg_drained_batch"] = result.avg_drained_batch;
+  // Ownership topology: how many owning-consumer threads actually ran,
+  // what the machine offered, and the per-core rate. A 1-core container
+  // reports cores_detected=1 so tools/check_bench_floors.py knows not
+  // to demand shard scaling from it.
+  const double per_core_rps =
+      result.throughput_rps / static_cast<double>(std::max(1u, result.consumers));
+  state.counters["consumers"] = static_cast<double>(result.consumers);
+  state.counters["per_core_rps"] = per_core_rps;
 
   BenchJsonRow row;
   row.bench = name;
@@ -65,6 +74,9 @@ void ServerScaling(benchmark::State& state, PolicyKind kind,
   row.batch = static_cast<std::uint64_t>(result.avg_drained_batch);
   row.requests = result.requests;
   row.mode = "server";
+  row.extra = "\"consumers\":" + std::to_string(result.consumers) +
+              ",\"cores_detected\":" + std::to_string(result.cores_detected) +
+              ",\"per_core_rps\":" + std::to_string(per_core_rps);
   AppendBenchJson(row);
 }
 

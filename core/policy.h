@@ -39,8 +39,9 @@ namespace clic {
 /// is never observed concurrently. The simulator satisfies this
 /// trivially (one thread per policy); the sweep runner builds one
 /// private policy per grid point; the online server
-/// (server/cache_server.h) gives each shard its own policy and
-/// serializes every batch behind that shard's mutex, asserting the
+/// (server/cache_server.h) gives each shard its own policy and routes
+/// every batch slice to the single consumer thread that owns the shard
+/// — ownership, not locking, is the serialization — asserting the
 /// single-entry discipline in debug builds. Any new caller must provide
 /// the same external serialization.
 class Policy {

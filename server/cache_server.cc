@@ -124,6 +124,20 @@ std::optional<AdmissionPolicy> ParseAdmissionPolicy(const std::string& name) {
   return std::nullopt;
 }
 
+const char* ShardAssignmentName(ShardAssignment a) {
+  switch (a) {
+    case ShardAssignment::kStripe: return "stripe";
+    case ShardAssignment::kBlock: return "block";
+  }
+  return "unknown";
+}
+
+std::optional<ShardAssignment> ParseShardAssignment(const std::string& name) {
+  if (name == "stripe") return ShardAssignment::kStripe;
+  if (name == "block") return ShardAssignment::kBlock;
+  return std::nullopt;
+}
+
 namespace {
 
 std::int64_t NowNs() {
@@ -137,6 +151,7 @@ std::int64_t NowNs() {
 CacheServer::CacheServer(const ServerOptions& options, std::size_t num_clients)
     : pages_per_shard_(ShardCachePages(options.cache_pages, options.shards)),
       deterministic_(options.deterministic),
+      ring_capacity_(options.ring_capacity),
       queue_cap_(options.queue_cap),
       admission_(options.admission),
       submit_timeout_ms_(options.submit_timeout_ms),
@@ -155,6 +170,23 @@ CacheServer::CacheServer(const ServerOptions& options, std::size_t num_clients)
     throw std::invalid_argument(
         "CacheServer: OPT is clairvoyant and cannot serve an online "
         "request stream");
+  }
+  if (options.consumers > options.shards) {
+    throw std::invalid_argument(
+        "CacheServer: consumers=" + std::to_string(options.consumers) +
+        " exceeds shards=" + std::to_string(options.shards) +
+        " — a consumer owning zero shards would idle forever");
+  }
+  if (deterministic_ && options.consumers > 1) {
+    throw std::invalid_argument(
+        "CacheServer: deterministic mode runs exactly one consumer, got "
+        "consumers=" + std::to_string(options.consumers));
+  }
+  if (ring_capacity_ < 2 ||
+      (ring_capacity_ & (ring_capacity_ - 1)) != 0) {
+    throw std::invalid_argument(
+        "CacheServer: ring_capacity must be a power of two >= 2, got " +
+        std::to_string(ring_capacity_));
   }
   if (queue_cap_ > 0 && admission_ == AdmissionPolicy::kBlockWithDeadline &&
       submit_timeout_ms_ <= 0.0) {
@@ -184,248 +216,435 @@ CacheServer::CacheServer(const ServerOptions& options, std::size_t num_clients)
                                /*trace=*/nullptr, options.clic);
     shards_.push_back(std::move(shard));
   }
-  queues_.reserve(num_clients);
-  for (std::size_t c = 0; c < num_clients; ++c) {
-    queues_.push_back(std::make_unique<ClientQueue>());
+  // Ownership topology: a static disjoint partition of shards over
+  // consumers, fixed for the server's lifetime — the serialization the
+  // shard mutex used to provide.
+  unsigned workers = 1;
+  if (deterministic_) {
+    workers = 1;
+  } else if (options.consumers > 0) {
+    workers = options.consumers;
+  } else {
+    const unsigned cap = options.max_consumers > 0
+                             ? options.max_consumers
+                             : std::max(1u, std::thread::hardware_concurrency());
+    workers = static_cast<unsigned>(
+        std::min<std::size_t>(shards_.size(), std::max(1u, cap)));
   }
-  const unsigned workers =
-      deterministic_
-          ? 1u
-          : std::max(1u, std::min<unsigned>(
-                             static_cast<unsigned>(num_clients),
-                             options.max_consumers > 0
-                                 ? options.max_consumers
-                                 : std::max(
-                                       1u,
-                                       std::thread::hardware_concurrency())));
-  scratch_.resize(workers);
-  for (Scratch& s : scratch_) s.buckets.resize(shards_.size());
-  // Everything above must be in place before the first consumer runs.
+  owner_of_.resize(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    owner_of_[s] =
+        options.assignment == ShardAssignment::kStripe
+            ? static_cast<std::uint32_t>(s % workers)
+            // Balanced contiguous blocks; floor(s*W/S) hits every
+            // consumer at least once when W <= S.
+            : static_cast<std::uint32_t>(s * workers / shards_.size());
+  }
   consumers_.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
+  for (unsigned k = 0; k < workers; ++k) {
+    consumers_.push_back(std::make_unique<Consumer>());
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    consumers_[owner_of_[s]]->owned.push_back(s);
+  }
+  ports_.reserve(num_clients);
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    auto port = std::make_unique<ClientPort>();
+    port->rings.reserve(workers);
+    for (unsigned k = 0; k < workers; ++k) {
+      port->rings.push_back(
+          std::make_unique<SpscRing<Batch*>>(ring_capacity_));
+    }
+    ports_.push_back(std::move(port));
+  }
+  // Everything above must be in place before the first consumer runs.
+  threads_.reserve(workers);
+  for (unsigned k = 0; k < workers; ++k) {
     if (deterministic_) {
-      consumers_.emplace_back([this] { ConsumeInClientOrder(); });
+      threads_.emplace_back([this] { ConsumeInClientOrder(); });
     } else {
-      consumers_.emplace_back([this, w] { ConsumeRoundRobin(w); });
+      threads_.emplace_back([this, k] { ConsumeOwned(k); });
     }
   }
 }
 
 CacheServer::~CacheServer() { Shutdown(); }
 
-SubmitResult CacheServer::Admit(ClientQueue& q, Batch* batch) {
-  const std::size_t n = batch->n;
-  std::unique_lock<std::mutex> lock(q.mu);
-  q.adm.submitted_batches += 1;
-  q.adm.submitted_requests += n;
-  batch->submit_index = ++q.submit_counter;
-  if (stop_.load(std::memory_order_relaxed)) {
-    q.adm.stopped_batches += 1;
-    q.adm.stopped_requests += n;
+void CacheServer::RouteBatch(ClientPort& port, Batch* batch,
+                             const Request* requests, std::size_t n) {
+  const std::size_t S = shards_.size();
+  const Request* src = requests;
+  bool mutated = false;
+  // Corruption injection, applied over the ORIGINAL batch order with a
+  // per-batch (plan seed, client, submit index) RNG, so the same flips
+  // land on the same requests no matter how drains interleave — replay
+  // stays bit-identical. Flips touch hint_set only, never the page, so
+  // shard routing below is unaffected.
+  if (fault_ != nullptr && fault_->corrupt_every > 0 &&
+      batch->submit_index % fault_->corrupt_every == 0) {
+    port.staging.assign(requests, requests + n);
+    Fnv1a mix;
+    mix.MixScalar(fault_->seed);
+    mix.MixScalar(batch->client);
+    mix.MixScalar(batch->submit_index);
+    Rng rng(mix.value());
+    for (std::uint32_t f = 0; f < fault_->corrupt_flips; ++f) {
+      Request& victim = port.staging[rng.Below(n)];
+      victim.hint_set ^= 1u << rng.Below(32);
+    }
+    src = port.staging.data();
+    mutated = true;
+  }
+  // Hint-sanity quarantine: remap out-of-range hint ids to the reserved
+  // untrusted bucket before the batch reaches any policy. The policy
+  // sees a well-formed hint set whose priority reflects the untrusted
+  // traffic's own behaviour; within its rank bucket eviction is LRU.
+  batch->has_quarantine = false;
+  if (hint_bound_ > 0) {
+    std::size_t bad = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      bad += src[i].hint_set >= hint_bound_ ? 1 : 0;
+    }
+    if (bad > 0) {
+      if (!mutated) {
+        port.staging.assign(src, src + n);
+        src = port.staging.data();
+        mutated = true;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (port.staging[i].hint_set >= hint_bound_) {
+          port.staging[i].hint_set = hint_bound_;
+        }
+      }
+      batch->has_quarantine = true;
+    }
+  }
+  batch->runs.clear();
+  if (S == 1) {
+    if (mutated || batch->async) {
+      batch->routed.assign(src, src + n);
+      batch->reqs = batch->routed.data();
+    } else {
+      // Closed-loop fast path: the caller's buffer outlives Submit, so
+      // a single-shard unmutated batch is served zero-copy.
+      batch->reqs = src;
+    }
+    batch->runs.push_back({0, 0, static_cast<std::uint32_t>(n)});
+    return;
+  }
+  // Stable counting sort into shard-ascending runs: ShardOf exactly
+  // once per request, here and nowhere else on the serving path.
+  auto& ids = port.shard_ids;
+  auto& off = port.run_offset;
+  ids.resize(n);
+  off.assign(S, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t s =
+        static_cast<std::uint32_t>(ShardOf(src[i].page, S));
+    ids[i] = s;
+    ++off[s];
+  }
+  batch->routed.resize(n);
+  std::uint32_t total = 0;
+  for (std::size_t s = 0; s < S; ++s) {
+    const std::uint32_t count = off[s];
+    off[s] = total;
+    if (count > 0) {
+      batch->runs.push_back({static_cast<std::uint32_t>(s), total, count});
+    }
+    total += count;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    batch->routed[off[ids[i]]++] = src[i];
+  }
+  batch->reqs = batch->routed.data();
+}
+
+bool CacheServer::TouchesStalledShard(const Batch& batch,
+                                      std::int64_t now_ns) const {
+  const std::int64_t limit_ns = static_cast<std::int64_t>(watchdog_ms_ * 1e6);
+  // O(runs), using the shard ids computed at routing — no page rescan.
+  for (const ShardRun& run : batch.runs) {
+    const std::int64_t busy =
+        shards_[run.shard]->busy_since_ns.load(std::memory_order_relaxed);
+    if (busy != 0 && now_ns - busy > limit_ns) return true;
+  }
+  return false;
+}
+
+SubmitResult CacheServer::Admit(ClientPort& port, Batch* batch,
+                                const Request* requests, std::size_t n) {
+  port.adm.submitted_batches += 1;
+  port.adm.submitted_requests += n;
+  batch->n = n;
+  batch->submit_index = ++port.submit_counter;
+  if (stop_.load(std::memory_order_acquire)) {
+    port.adm.stopped_batches += 1;
+    port.adm.stopped_requests += n;
     return SubmitResult::kStopped;
   }
   // Deterministic overload injection: a pure function of (client,
   // submit index), so a verify run can reconstruct the shed set.
   if (fault_ != nullptr && fault_->shed_every > 0 &&
       batch->submit_index % fault_->shed_every == 0) {
-    q.adm.shed_batches += 1;
-    q.adm.shed_requests += n;
+    port.adm.shed_batches += 1;
+    port.adm.shed_requests += n;
     return SubmitResult::kShed;
   }
+  RouteBatch(port, batch, requests, n);
   // Watchdog: shed traffic aimed at a shard whose in-flight drain has
-  // been running past the threshold. The page scan runs only on the
-  // degraded path (some shard already looked stalled).
-  if (watchdog_ms_ > 0.0) {
-    const std::int64_t now_ns = NowNs();
-    bool any_stalled = false;
-    const std::int64_t limit_ns =
-        static_cast<std::int64_t>(watchdog_ms_ * 1e6);
-    for (const auto& shard : shards_) {
-      const std::int64_t busy =
-          shard->busy_since_ns.load(std::memory_order_relaxed);
-      if (busy != 0 && now_ns - busy > limit_ns) {
-        any_stalled = true;
-        break;
-      }
+  // been running past the threshold.
+  if (watchdog_ms_ > 0.0 && TouchesStalledShard(*batch, NowNs())) {
+    port.adm.shed_batches += 1;
+    port.adm.shed_requests += n;
+    watchdog_sheds_.fetch_add(1, std::memory_order_relaxed);
+    return SubmitResult::kShed;
+  }
+  // The batch's slices go to the consumers owning its runs' shards.
+  port.targets.clear();
+  for (const ShardRun& run : batch->runs) {
+    const std::size_t owner = owner_of_[run.shard];
+    bool seen = false;
+    for (std::size_t t : port.targets) {
+      if (t == owner) { seen = true; break; }
     }
-    if (any_stalled &&
-        TouchesStalledShard(batch->requests, n, now_ns)) {
-      q.adm.shed_batches += 1;
-      q.adm.shed_requests += n;
-      watchdog_sheds_.fetch_add(1, std::memory_order_relaxed);
+    if (!seen) port.targets.push_back(owner);
+  }
+  // All-or-nothing space reservation: the depth cap plus a free slot in
+  // EVERY target ring. Both are monotone from this producer's view
+  // (only this thread adds load for this client; consumers only free),
+  // so once true it stays true through the pushes below.
+  const auto space_ok = [this, &port] {
+    if (queue_cap_ > 0 &&
+        port.queued.load(std::memory_order_seq_cst) >= queue_cap_) {
+      return false;
+    }
+    for (std::size_t t : port.targets) {
+      if (port.rings[t]->FreeSlots() == 0) return false;
+    }
+    return true;
+  };
+  if (!space_ok()) {
+    const bool cap_full =
+        queue_cap_ > 0 &&
+        port.queued.load(std::memory_order_seq_cst) >= queue_cap_;
+    if (admission_ == AdmissionPolicy::kShed && cap_full) {
+      port.adm.shed_batches += 1;
+      port.adm.shed_requests += n;
       return SubmitResult::kShed;
     }
-  }
-  if (queue_cap_ > 0 && q.pending.size() >= queue_cap_) {
-    switch (admission_) {
-      case AdmissionPolicy::kShed:
-        q.adm.shed_batches += 1;
-        q.adm.shed_requests += n;
-        return SubmitResult::kShed;
-      case AdmissionPolicy::kBlock:
-        q.space.wait(lock, [this, &q] {
-          return q.pending.size() < queue_cap_ ||
-                 stop_.load(std::memory_order_relaxed);
-        });
-        break;
-      case AdmissionPolicy::kBlockWithDeadline: {
-        const bool got_space = q.space.wait_for(
+    // Slow control path: park on the space CV. The space_waiter flag +
+    // seq_cst fence pair with the consumer's post-free fence/load so a
+    // wakeup can never be missed (see NoteSlicePopped).
+    {
+      std::unique_lock<std::mutex> lock(port.mu);
+      port.space_waiter.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      bool satisfied = true;
+      const auto pred = [this, &space_ok] {
+        return space_ok() || stop_.load(std::memory_order_acquire);
+      };
+      if (admission_ == AdmissionPolicy::kBlockWithDeadline &&
+          queue_cap_ > 0) {
+        satisfied = port.space_cv.wait_for(
             lock,
             std::chrono::duration<double, std::milli>(submit_timeout_ms_),
-            [this, &q] {
-              return q.pending.size() < queue_cap_ ||
-                     stop_.load(std::memory_order_relaxed);
-            });
-        if (!got_space && !stop_.load(std::memory_order_relaxed)) {
-          q.adm.timed_out_batches += 1;
-          q.adm.timed_out_requests += n;
-          return SubmitResult::kTimedOut;
-        }
-        break;
+            pred);
+      } else {
+        port.space_cv.wait(lock, pred);
+      }
+      port.space_waiter.store(false, std::memory_order_relaxed);
+      if (!satisfied && !stop_.load(std::memory_order_acquire)) {
+        port.adm.timed_out_batches += 1;
+        port.adm.timed_out_requests += n;
+        return SubmitResult::kTimedOut;
       }
     }
-    if (stop_.load(std::memory_order_relaxed)) {
-      q.adm.stopped_batches += 1;
-      q.adm.stopped_requests += n;
+    if (stop_.load(std::memory_order_acquire)) {
+      port.adm.stopped_batches += 1;
+      port.adm.stopped_requests += n;
       return SubmitResult::kStopped;
     }
   }
+  batch->deadline = Clock::time_point{};
   if (batch_deadline_ms_ > 0.0) {
     batch->deadline =
         Clock::now() + std::chrono::duration_cast<Clock::duration>(
                            std::chrono::duration<double, std::milli>(
                                batch_deadline_ms_));
   }
-  q.adm.enqueued_batches += 1;
-  q.adm.enqueued_requests += n;
-  q.pending.push_back(batch);
-  lock.unlock();
-  q.arrival.notify_all();
+  const auto slices = static_cast<std::uint32_t>(port.targets.size());
+  batch->unpopped.store(slices, std::memory_order_relaxed);
+  batch->pending.store(slices, std::memory_order_relaxed);
+  batch->fail_bits.store(0, std::memory_order_relaxed);
+  batch->done.store(false, std::memory_order_relaxed);
+  batch->waiting.store(false, std::memory_order_relaxed);
+  batch->result = SubmitResult::kApplied;
+  // Push phase, guarded by the submitting flag: Stop()'s final drain
+  // spins this flag out after raising stop_, so either we observe stop_
+  // here (and nothing is pushed) or every push below lands before the
+  // drain pass runs.
+  port.submitting.store(true, std::memory_order_seq_cst);
+  if (stop_.load(std::memory_order_seq_cst)) {
+    port.submitting.store(false, std::memory_order_release);
+    port.adm.stopped_batches += 1;
+    port.adm.stopped_requests += n;
+    return SubmitResult::kStopped;
+  }
+  port.adm.enqueued_batches += 1;
+  port.adm.enqueued_requests += n;
+  port.queued.fetch_add(1, std::memory_order_seq_cst);
+  for (std::size_t t : port.targets) {
+    const bool pushed = port.rings[t]->TryPush(batch);
+    // space_ok reserved a slot in every target ring and only this
+    // thread pushes to them, so this cannot fail.
+    assert(pushed);
+    if (!pushed) std::abort();
+  }
+  port.submitting.store(false, std::memory_order_release);
+  for (std::size_t t : port.targets) WakeConsumer(t);
   return SubmitResult::kEnqueued;
 }
 
-bool CacheServer::TouchesStalledShard(const Request* reqs, std::size_t n,
-                                      std::int64_t now_ns) const {
-  const std::int64_t limit_ns = static_cast<std::int64_t>(watchdog_ms_ * 1e6);
-  // Small fixed bitmap would do, but shards_.size() is tiny and this
-  // runs only while a shard is actually wedged.
-  std::vector<bool> stalled(shards_.size(), false);
-  bool any = false;
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    const std::int64_t busy =
-        shards_[s]->busy_since_ns.load(std::memory_order_relaxed);
-    if (busy != 0 && now_ns - busy > limit_ns) {
-      stalled[s] = true;
-      any = true;
-    }
+SubmitResult CacheServer::WaitDone(ClientPort& port, Batch& batch) {
+  // Spin briefly (with yields so a 1-core box schedules the consumer),
+  // then park on the control path.
+  for (int spin = 0; spin < 1024; ++spin) {
+    if (batch.done.load(std::memory_order_acquire)) return batch.result;
+    if (spin >= 64) std::this_thread::yield();
   }
-  if (!any) return false;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (stalled[ShardOf(reqs[i].page, shards_.size())]) return true;
-  }
-  return false;
+  std::unique_lock<std::mutex> lock(port.mu);
+  batch.waiting.store(true, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  port.done_cv.wait(lock, [&batch] {
+    return batch.done.load(std::memory_order_acquire);
+  });
+  batch.waiting.store(false, std::memory_order_relaxed);
+  return batch.result;
 }
 
 SubmitResult CacheServer::Submit(std::size_t client, const Request* requests,
                                  std::size_t n) {
   if (n == 0) return SubmitResult::kApplied;
-  Batch batch;
-  batch.requests = requests;
-  batch.n = n;
+  ClientPort& port = *ports_.at(client);
+  Batch& batch = port.sync_batch;
   batch.client = static_cast<ClientId>(client);
-  ClientQueue& q = *queues_.at(client);
-  const SubmitResult admitted = Admit(q, &batch);
+  batch.async = false;
+  const SubmitResult admitted = Admit(port, &batch, requests, n);
   if (admitted != SubmitResult::kEnqueued) return admitted;
-  std::unique_lock<std::mutex> lock(q.mu);
-  q.done_cv.wait(lock, [&batch] { return batch.done; });
-  return batch.result;
+  return WaitDone(port, batch);
 }
 
 SubmitResult CacheServer::SubmitAsync(std::size_t client,
                                       const Request* requests, std::size_t n) {
   if (n == 0) return SubmitResult::kEnqueued;
-  ClientQueue& q = *queues_.at(client);
+  ClientPort& port = *ports_.at(client);
   auto* batch = new Batch;
-  batch->owned.assign(requests, requests + n);
-  batch->requests = batch->owned.data();
-  batch->n = n;
   batch->client = static_cast<ClientId>(client);
   batch->async = true;
-  const SubmitResult admitted = Admit(q, batch);
+  const SubmitResult admitted = Admit(port, batch, requests, n);
   if (admitted != SubmitResult::kEnqueued) delete batch;
   return admitted;
 }
 
 void CacheServer::Finish(std::size_t client) {
-  ClientQueue& q = *queues_.at(client);
-  {
-    std::lock_guard<std::mutex> lock(q.mu);
-    q.eos = true;
-  }
-  q.arrival.notify_all();
+  ClientPort& port = *ports_.at(client);
+  port.eos.store(true, std::memory_order_release);
+  for (std::size_t k = 0; k < consumers_.size(); ++k) WakeConsumer(k);
 }
 
 void CacheServer::Shutdown() {
   if (joined_) return;
   joined_ = true;
-  for (std::thread& t : consumers_) t.join();
+  for (std::thread& t : threads_) t.join();
 }
 
 void CacheServer::Stop() {
   stop_.store(true, std::memory_order_seq_cst);
-  for (auto& qp : queues_) {
+  for (auto& pp : ports_) {
     // Empty critical section: any waiter that re-checks its predicate
     // after this point holds the mutex and therefore observes stop_.
-    { std::lock_guard<std::mutex> lock(qp->mu); }
-    qp->arrival.notify_all();
-    qp->space.notify_all();
-    qp->done_cv.notify_all();
+    { std::lock_guard<std::mutex> lock(pp->mu); }
+    pp->space_cv.notify_all();
+    pp->done_cv.notify_all();
+  }
+  for (auto& cp : consumers_) {
+    { std::lock_guard<std::mutex> lock(cp->mu); }
+    cp->cv.notify_all();
   }
   Shutdown();
+  // Final drain: with consumers joined, every admitted-but-unfinished
+  // slice sits in exactly one ring. Quiesce any producer mid-push first
+  // (the submitting flag; such a producer saw stop_ false and will
+  // complete its pushes promptly), then pop and finish everything as
+  // stopped, with exact accounting.
+  for (auto& pp : ports_) {
+    ClientPort& port = *pp;
+    while (port.submitting.load(std::memory_order_seq_cst)) {
+      std::this_thread::yield();
+    }
+    for (auto& ring : port.rings) {
+      Batch* batch = nullptr;
+      while (ring->TryPop(&batch)) {
+        NoteSlicePopped(port, batch);
+        FinishSlice(port, batch, kStoppedBit);
+      }
+    }
+  }
 }
 
-void CacheServer::CompleteBatch(ClientQueue& q, Batch* batch,
-                                SubmitResult result) {
-  const bool async = batch->async;
+void CacheServer::NoteSlicePopped(ClientPort& port, Batch* batch) {
+  if (batch->unpopped.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  // Last slice popped: the batch no longer counts against the client's
+  // depth cap (matching the old queue-depth semantics: cap batches
+  // queued plus one in flight per consumer).
+  port.queued.fetch_sub(1, std::memory_order_seq_cst);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (port.space_waiter.load(std::memory_order_relaxed)) {
+    { std::lock_guard<std::mutex> lock(port.mu); }
+    port.space_cv.notify_all();
+  }
+}
+
+void CacheServer::FinishSlice(ClientPort& port, Batch* batch,
+                              std::uint8_t bits) {
+  if (bits != 0) batch->fail_bits.fetch_or(bits, std::memory_order_relaxed);
+  if (batch->pending.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  // Last finisher resolves the one batch outcome.
+  const std::uint8_t fb = batch->fail_bits.load(std::memory_order_relaxed);
+  const SubmitResult outcome = (fb & kStoppedBit) != 0
+                                   ? SubmitResult::kStopped
+                                   : (fb & kExpiredBit) != 0
+                                         ? SubmitResult::kExpired
+                                         : SubmitResult::kApplied;
   const std::size_t n = batch->n;
-  {
-    std::lock_guard<std::mutex> lock(q.mu);
-    switch (result) {
-      case SubmitResult::kApplied:
-        q.adm.applied_batches += 1;
-        q.adm.applied_requests += n;
-        break;
-      case SubmitResult::kExpired:
-        q.adm.expired_batches += 1;
-        q.adm.expired_requests += n;
-        break;
-      case SubmitResult::kStopped:
-        q.adm.stopped_batches += 1;
-        q.adm.stopped_requests += n;
-        break;
-      default:
-        assert(false && "CompleteBatch: not a completion result");
-        break;
-    }
-    batch->result = result;
-    batch->done = true;
+  const bool async = batch->async;
+  switch (outcome) {
+    case SubmitResult::kApplied:
+      port.applied_batches.fetch_add(1, std::memory_order_relaxed);
+      port.applied_requests.fetch_add(n, std::memory_order_relaxed);
+      batches_applied_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case SubmitResult::kExpired:
+      port.expired_batches.fetch_add(1, std::memory_order_relaxed);
+      port.expired_requests.fetch_add(n, std::memory_order_relaxed);
+      break;
+    default:
+      port.stopped_batches.fetch_add(1, std::memory_order_relaxed);
+      port.stopped_requests.fetch_add(n, std::memory_order_relaxed);
+      break;
   }
-  q.done_cv.notify_all();
-  if (async) delete batch;
-}
-
-void CacheServer::AbortPending(ClientQueue& q) {
-  for (;;) {
-    Batch* batch = nullptr;
-    {
-      std::lock_guard<std::mutex> lock(q.mu);
-      if (q.pending.empty()) break;
-      batch = q.pending.front();
-      q.pending.pop_front();
-    }
-    CompleteBatch(q, batch, SubmitResult::kStopped);
+  batch->result = outcome;
+  if (async) {
+    delete batch;
+    return;
   }
-  q.space.notify_all();
+  batch->done.store(true, std::memory_order_release);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (batch->waiting.load(std::memory_order_relaxed)) {
+    { std::lock_guard<std::mutex> lock(port.mu); }
+    port.done_cv.notify_all();
+  }
 }
 
 void CacheServer::StallIfPlanned(Shard& shard, std::size_t shard_index) {
@@ -447,11 +666,10 @@ void CacheServer::StallIfPlanned(Shard& shard, std::size_t shard_index) {
 }
 
 void CacheServer::PauseIfPlanned(std::size_t consumer_index,
-                                 Scratch& scratch) {
+                                 std::uint64_t processed) {
   for (const fault::ConsumerPause& p : fault_->pauses) {
     if (p.consumer != consumer_index) continue;
-    if (scratch.batches_processed < p.after_batch ||
-        scratch.batches_processed >= p.after_batch + p.batches) {
+    if (processed < p.after_batch || processed >= p.after_batch + p.batches) {
       continue;
     }
     double remaining_ms = p.ms;
@@ -464,100 +682,50 @@ void CacheServer::PauseIfPlanned(std::size_t consumer_index,
   }
 }
 
-const Request* CacheServer::PrepareRequests(Scratch& scratch,
-                                            const Batch& batch,
-                                            std::uint64_t* quarantined_out) {
-  const Request* reqs = batch.requests;
-  bool mutated = false;
-  if (fault_ != nullptr && fault_->corrupt_every > 0 &&
-      batch.submit_index % fault_->corrupt_every == 0) {
-    scratch.mutated.assign(reqs, reqs + batch.n);
-    // Per-batch seeding: the same (plan seed, client, submit index)
-    // always flips the same bits, so corruption replays bit-identically
-    // no matter how drains interleave.
-    Fnv1a mix;
-    mix.MixScalar(fault_->seed);
-    mix.MixScalar(batch.client);
-    mix.MixScalar(batch.submit_index);
-    Rng rng(mix.value());
-    for (std::uint32_t f = 0; f < fault_->corrupt_flips; ++f) {
-      Request& victim = scratch.mutated[rng.Below(batch.n)];
-      victim.hint_set ^= 1u << rng.Below(32);
-    }
-    reqs = scratch.mutated.data();
-    mutated = true;
-  }
-  std::uint64_t bad = 0;
-  if (hint_bound_ > 0) {
-    for (std::size_t i = 0; i < batch.n; ++i) {
-      bad += reqs[i].hint_set >= hint_bound_ ? 1 : 0;
-    }
-    if (bad > 0) {
-      if (!mutated) {
-        scratch.mutated.assign(reqs, reqs + batch.n);
-        reqs = scratch.mutated.data();
-        mutated = true;
-      }
-      for (std::size_t i = 0; i < batch.n; ++i) {
-        if (scratch.mutated[i].hint_set >= hint_bound_) {
-          // Quarantine: the reserved untrusted bucket, one past every
-          // legitimate id. The policy sees a well-formed hint set whose
-          // priority reflects the untrusted traffic's own behaviour;
-          // within its rank bucket, eviction order is LRU.
-          scratch.mutated[i].hint_set = hint_bound_;
-        }
-      }
-    }
-  }
-  *quarantined_out = bad;
-  return reqs;
-}
-
-void CacheServer::ApplyBatch(std::size_t consumer_index, Batch& batch) {
-  Scratch& scratch = scratch_[consumer_index];
-  std::uint64_t quarantined = 0;
-  const Request* requests = PrepareRequests(scratch, batch, &quarantined);
-  // The hit buffer is (re)sized outside any shard lock; AccessBatch
+void CacheServer::ApplySlice(std::size_t k, Batch& batch) {
+  Consumer& me = *consumers_[k];
+  // The hit buffer is (re)sized before touching any shard; AccessBatch
   // itself never allocates.
-  if (scratch.hits.size() < batch.n) scratch.hits.resize(batch.n);
-  std::uint8_t* const hits = scratch.hits.data();
-  const bool count_quarantine = quarantined > 0;
-
-  auto apply_range = [this, hits, count_quarantine](
-                         Shard& shard, std::size_t shard_index,
-                         const Request* reqs, std::size_t count) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+  if (me.hits.size() < batch.n) me.hits.resize(batch.n);
+  std::uint8_t* const hits = me.hits.data();
+  const Request* const reqs = batch.reqs;
+  for (const ShardRun& run : batch.runs) {
+    if (owner_of_[run.shard] != k) continue;
+    Shard& shard = *shards_[run.shard];
 #ifndef NDEBUG
-    assert(!shard.entered && "two consumers inside one shard's policy");
-    shard.entered = true;
+    // The static ownership partition IS the serialization; this flag
+    // would catch a topology bug routing one shard to two consumers.
+    const bool reentered = shard.entered.exchange(true);
+    assert(!reentered && "two consumers inside one shard's policy");
 #endif
     const std::int64_t drain_start_ns = NowNs();
     // Published before any injected stall so the watchdog sees the full
     // in-flight time of a wedged drain.
     shard.busy_since_ns.store(drain_start_ns, std::memory_order_relaxed);
     if (fault_ != nullptr && fault_->HasStalls()) {
-      StallIfPlanned(shard, shard_index);
+      StallIfPlanned(shard, run.shard);
     }
-    // One virtual dispatch per drained run — the whole reason the drain
-    // loop gathers contiguous per-shard request spans.
-    shard.policy->AccessBatch(reqs, shard.seq, count, hits);
-    shard.seq += count;
-    for (std::size_t i = 0; i < count; ++i) {
-      const Request& r = reqs[i];
+    const Request* const span = reqs + run.offset;
+    // One virtual dispatch per drained run — the whole reason routing
+    // gathers contiguous per-shard request spans.
+    shard.policy->AccessBatch(span, shard.seq, run.count, hits);
+    shard.seq += run.count;
+    for (std::size_t i = 0; i < run.count; ++i) {
+      const Request& r = span[i];
       if (r.client >= shard.client_stats.size()) {
         shard.client_stats.resize(static_cast<std::size_t>(r.client) + 1);
       }
       shard.client_stats[r.client].Record(r, hits[i] != 0);
     }
-    if (count_quarantine) {
+    if (batch.has_quarantine) {
       // Only remapped requests carry the reserved id, so this recovers
       // the per-shard quarantine attribution without a second pass on
       // the trusted fast path.
-      for (std::size_t i = 0; i < count; ++i) {
-        shard.quarantined += reqs[i].hint_set == hint_bound_ ? 1 : 0;
+      for (std::size_t i = 0; i < run.count; ++i) {
+        shard.quarantined += span[i].hint_set == hint_bound_ ? 1 : 0;
       }
     }
-    shard.requests += count;
+    shard.requests += run.count;
     ++shard.drains;
     if (record_drain_latency_) {
       shard.drain_us.push_back(static_cast<double>(NowNs() - drain_start_ns) /
@@ -565,90 +733,101 @@ void CacheServer::ApplyBatch(std::size_t consumer_index, Batch& batch) {
     }
     shard.busy_since_ns.store(0, std::memory_order_relaxed);
 #ifndef NDEBUG
-    shard.entered = false;
+    shard.entered.store(false);
 #endif
-  };
-
-  if (shards_.size() == 1) {
-    apply_range(*shards_[0], 0, requests, batch.n);
-  } else {
-    auto& buckets = scratch.buckets;
-    for (auto& b : buckets) b.clear();
-    for (std::size_t i = 0; i < batch.n; ++i) {
-      buckets[ShardOf(requests[i].page, shards_.size())].push_back(
-          requests[i]);
-    }
-    for (std::size_t s = 0; s < buckets.size(); ++s) {
-      if (buckets[s].empty()) continue;
-      apply_range(*shards_[s], s, buckets[s].data(), buckets[s].size());
-    }
+    me.requests += run.count;
   }
-  batches_applied_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void CacheServer::ConsumeRoundRobin(std::size_t consumer_index) {
-  const std::size_t workers = scratch_.size();
-  Scratch& scratch = scratch_[consumer_index];
-  std::vector<std::size_t> mine;
-  for (std::size_t c = consumer_index; c < queues_.size(); c += workers) {
-    mine.push_back(c);
+bool CacheServer::PopAndProcess(std::size_t k, std::size_t c) {
+  ClientPort& port = *ports_[c];
+  Batch* batch = nullptr;
+  if (!port.rings[k]->TryPop(&batch)) return false;
+  NoteSlicePopped(port, batch);
+  Consumer& me = *consumers_[k];
+  if (fault_ != nullptr && fault_->HasPauses()) {
+    PauseIfPlanned(k, me.batches_processed);
   }
-  std::vector<bool> drained(mine.size(), false);
-  std::size_t remaining = mine.size();
-  while (remaining > 0 && !stop_.load(std::memory_order_relaxed)) {
+  std::uint8_t bits = 0;
+  if (batch->deadline != Clock::time_point{} &&
+      Clock::now() > batch->deadline) {
+    bits = kExpiredBit;  // stale: drop this slice, don't serve it
+  } else {
+    ApplySlice(k, *batch);
+  }
+  ++me.batches_processed;
+  FinishSlice(port, batch, bits);
+  return true;
+}
+
+void CacheServer::WakeConsumer(std::size_t k) {
+  // Pairs with NapConsumer: the pushes above are visible to any
+  // consumer that decides to nap after this fence, and if it napped
+  // before, we see its napping flag and pay the one slow-path notify.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  Consumer& me = *consumers_[k];
+  if (me.napping.load(std::memory_order_relaxed)) {
+    { std::lock_guard<std::mutex> lock(me.mu); }
+    me.cv.notify_all();
+  }
+}
+
+void CacheServer::NapConsumer(std::size_t k) {
+  Consumer& me = *consumers_[k];
+  me.napping.store(true, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  bool work = stop_.load(std::memory_order_acquire);
+  if (!work) {
+    for (std::size_t c = 0; c < ports_.size() && !work; ++c) {
+      if (me.done_client[c]) continue;
+      ClientPort& port = *ports_[c];
+      work = !port.rings[k]->Empty() ||
+             port.eos.load(std::memory_order_acquire);
+    }
+  }
+  if (!work) {
+    // 1ms backstop: even a lost wakeup only costs one poll interval.
+    std::unique_lock<std::mutex> lock(me.mu);
+    me.cv.wait_for(lock, std::chrono::milliseconds(1));
+  }
+  me.napping.store(false, std::memory_order_relaxed);
+}
+
+void CacheServer::ConsumeOwned(std::size_t k) {
+  Consumer& me = *consumers_[k];
+  me.done_client.assign(ports_.size(), 0);
+  std::size_t remaining = ports_.size();
+  unsigned idle = 0;
+  while (remaining > 0 && !stop_.load(std::memory_order_acquire)) {
     bool progress = false;
-    for (std::size_t i = 0; i < mine.size(); ++i) {
-      if (drained[i]) continue;
-      ClientQueue& q = *queues_[mine[i]];
-      Batch* batch = nullptr;
-      {
-        std::lock_guard<std::mutex> lock(q.mu);
-        if (!q.pending.empty()) {
-          batch = q.pending.front();
-          q.pending.pop_front();
-        } else if (q.eos) {
-          drained[i] = true;
-          --remaining;
-          continue;
-        }
-      }
-      if (batch != nullptr) {
-        q.space.notify_one();  // one queue slot freed at pop time
-        if (fault_ != nullptr && fault_->HasPauses()) {
-          PauseIfPlanned(consumer_index, scratch);
-        }
-        SubmitResult outcome = SubmitResult::kApplied;
-        if (batch->deadline != Clock::time_point{} &&
-            Clock::now() > batch->deadline) {
-          outcome = SubmitResult::kExpired;  // stale: drop, don't serve
-        } else {
-          ApplyBatch(consumer_index, *batch);
-        }
-        ++scratch.batches_processed;
-        CompleteBatch(q, batch, outcome);
+    for (std::size_t c = 0; c < ports_.size(); ++c) {
+      if (me.done_client[c]) continue;
+      // Re-check stop between pops: batches queued behind a stall that
+      // Stop() unwound belong to the final stopped-accounting drain,
+      // not to this consumer.
+      while (!stop_.load(std::memory_order_acquire) && PopAndProcess(k, c)) {
         progress = true;
       }
-    }
-    if (!progress && remaining > 0) {
-      // All live queues momentarily empty: nap on the first one. The
-      // timeout keeps this a polling loop across *several* queues while
-      // still reacting within a millisecond to a quiet period ending.
-      for (std::size_t i = 0; i < mine.size(); ++i) {
-        if (drained[i]) continue;
-        ClientQueue& q = *queues_[mine[i]];
-        std::unique_lock<std::mutex> lock(q.mu);
-        q.arrival.wait_for(lock, std::chrono::milliseconds(1), [this, &q] {
-          return !q.pending.empty() || q.eos ||
-                 stop_.load(std::memory_order_relaxed);
-        });
-        break;
+      ClientPort& port = *ports_[c];
+      // eos is published after the client's last push, so acquiring it
+      // makes any straggler visible: empty-after-eos is final.
+      if (port.eos.load(std::memory_order_acquire) &&
+          port.rings[k]->Empty()) {
+        me.done_client[c] = 1;
+        --remaining;
       }
     }
-  }
-  if (stop_.load(std::memory_order_relaxed)) {
-    // Discard everything still queued for my clients, with exact
-    // accounting; producers blocked on done_cv wake with kStopped.
-    for (std::size_t c : mine) AbortPending(*queues_[c]);
+    if (progress) {
+      idle = 0;
+    } else if (remaining > 0) {
+      // Spin briefly before the nap control path: on a busy server the
+      // next push lands within the spin and no mutex is ever touched.
+      if (++idle < 64) {
+        std::this_thread::yield();
+      } else {
+        NapConsumer(k);
+      }
+    }
   }
 }
 
@@ -656,46 +835,39 @@ void CacheServer::ConsumeInClientOrder() {
   // Strict client order: the per-shard request sequence is then the
   // shard-filtered concatenation of client streams, which is what the
   // determinism guarantee (see header) promises.
-  Scratch& scratch = scratch_[0];
-  bool stopping = false;
-  for (std::size_t c = 0; c < queues_.size() && !stopping; ++c) {
-    ClientQueue& q = *queues_[c];
+  Consumer& me = *consumers_[0];
+  me.done_client.assign(ports_.size(), 0);
+  for (std::size_t c = 0; c < ports_.size(); ++c) {
+    ClientPort& port = *ports_[c];
+    unsigned idle = 0;
     for (;;) {
-      Batch* batch = nullptr;
-      {
-        std::unique_lock<std::mutex> lock(q.mu);
-        q.arrival.wait(lock, [this, &q] {
-          return !q.pending.empty() || q.eos ||
-                 stop_.load(std::memory_order_relaxed);
-        });
-        if (stop_.load(std::memory_order_relaxed)) {
-          stopping = true;
-          break;
-        }
-        if (!q.pending.empty()) {
-          batch = q.pending.front();
-          q.pending.pop_front();
-        } else {
-          break;  // eos and empty: this client's stream is complete
-        }
+      if (stop_.load(std::memory_order_acquire)) return;
+      if (PopAndProcess(0, c)) {
+        idle = 0;
+        continue;
       }
-      q.space.notify_one();
-      if (fault_ != nullptr && fault_->HasPauses()) {
-        PauseIfPlanned(0, scratch);
+      if (port.eos.load(std::memory_order_acquire) &&
+          port.rings[0]->Empty()) {
+        break;
       }
-      SubmitResult outcome = SubmitResult::kApplied;
-      if (batch->deadline != Clock::time_point{} &&
-          Clock::now() > batch->deadline) {
-        outcome = SubmitResult::kExpired;
-      } else {
-        ApplyBatch(0, *batch);
+      if (++idle < 64) {
+        std::this_thread::yield();
+        continue;
       }
-      ++scratch.batches_processed;
-      CompleteBatch(q, batch, outcome);
+      // Targeted nap: strict order means only client c (or stop) can
+      // make progress, so don't scan the other rings.
+      me.napping.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      const bool work = stop_.load(std::memory_order_acquire) ||
+                        !port.rings[0]->Empty() ||
+                        port.eos.load(std::memory_order_acquire);
+      if (!work) {
+        std::unique_lock<std::mutex> lock(me.mu);
+        me.cv.wait_for(lock, std::chrono::milliseconds(1));
+      }
+      me.napping.store(false, std::memory_order_relaxed);
     }
-  }
-  if (stopping) {
-    for (auto& qp : queues_) AbortPending(*qp);
+    me.done_client[c] = 1;
   }
 }
 
@@ -746,22 +918,37 @@ std::uint64_t CacheServer::shard_drains() const {
   return total;
 }
 
+std::vector<std::uint64_t> CacheServer::PerConsumerRequests() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(consumers_.size());
+  for (const auto& cp : consumers_) out.push_back(cp->requests);
+  return out;
+}
+
+AdmissionStats CacheServer::SnapshotAdmission(const ClientPort& port) const {
+  // Producer-side fields are plain (single producer per client) and the
+  // completion counters are atomics; quiescent reads — call after
+  // Shutdown()/Stop(), whose joins give the happens-before.
+  AdmissionStats s = port.adm;
+  s.applied_batches = port.applied_batches.load(std::memory_order_relaxed);
+  s.applied_requests = port.applied_requests.load(std::memory_order_relaxed);
+  s.expired_batches = port.expired_batches.load(std::memory_order_relaxed);
+  s.expired_requests = port.expired_requests.load(std::memory_order_relaxed);
+  s.stopped_batches += port.stopped_batches.load(std::memory_order_relaxed);
+  s.stopped_requests += port.stopped_requests.load(std::memory_order_relaxed);
+  return s;
+}
+
 AdmissionStats CacheServer::TotalAdmission() const {
   AdmissionStats total;
-  for (const auto& qp : queues_) {
-    std::lock_guard<std::mutex> lock(qp->mu);
-    total += qp->adm;
-  }
+  for (const auto& pp : ports_) total += SnapshotAdmission(*pp);
   return total;
 }
 
 std::vector<AdmissionStats> CacheServer::PerClientAdmission() const {
   std::vector<AdmissionStats> out;
-  out.reserve(queues_.size());
-  for (const auto& qp : queues_) {
-    std::lock_guard<std::mutex> lock(qp->mu);
-    out.push_back(qp->adm);
-  }
+  out.reserve(ports_.size());
+  for (const auto& pp : ports_) out.push_back(SnapshotAdmission(*pp));
   return out;
 }
 
@@ -895,6 +1082,9 @@ ServeResult ServeTrace(const Trace& trace, const ServerOptions& options,
           ? static_cast<double>(result.requests) /
                 static_cast<double>(result.shard_drains)
           : 0.0;
+  result.consumers = server.consumers();
+  result.cores_detected = std::max(1u, std::thread::hardware_concurrency());
+  result.per_consumer_requests = server.PerConsumerRequests();
   result.admission = server.TotalAdmission();
   result.quarantined = server.quarantined();
   result.watchdog_sheds = server.watchdog_sheds();

@@ -1,43 +1,50 @@
 // Online sharded cache server: the serving layer the paper's storage
 // server implies. Pages are hash-partitioned across S shards; each
-// shard owns one Policy instance (any PolicyKind except OPT, whose
-// clairvoyant oracle has no online meaning) behind a per-shard mutex.
-// Clients submit *batches* of requests through per-client MPSC queues;
-// consumer threads drain whole batches and apply each batch's per-shard
-// slice under a single shard-lock acquisition, so the lock cost is
-// amortized over the batch instead of paid per request.
+// consumer thread *owns* a disjoint set of shards — policy, seq counter
+// and stats for a shard live on exactly one core, with no mutex between
+// them and the requests they serve. Clients reach the owning core
+// through lock-free bounded SPSC rings (common/spsc_ring.h), one ring
+// per (client, consumer) pair: the producing client thread computes
+// every request's shard once at submit time, groups the batch into
+// contiguous per-shard runs, and pushes the batch into the ring of each
+// consumer that owns one of its shards. The steady-state drain path
+// (submit -> ring -> owning-core apply -> completion) acquires no
+// std::mutex at all; mutexes and condition variables survive only on
+// the slow control path — block/deadline admission at a full queue,
+// a producer parking after its spin wait, an idle consumer's 1ms nap,
+// and Stop().
 //
 // Determinism rule: with `deterministic == true` the server runs exactly
-// one consumer thread that drains client queues in strict client order
-// (all of client 0's stream, then client 1's, ...). Each shard therefore
-// sees exactly the subsequence of the concatenated client streams whose
-// pages hash to it, in stream order, with a per-shard seq counter equal
-// to the request's index within that subsequence — which is precisely
-// what a sequential Simulate() of the shard's partition observes. So the
-// aggregate (and per-client) hit counts of a deterministic run are
-// bit-identical to per-shard sequential Simulate() of the partitioned
-// trace; ServeTrace arranges client chunks so their concatenation is the
-// original trace.
+// one consumer thread (owning every shard) that drains client rings in
+// strict client order (all of client 0's stream, then client 1's, ...).
+// Each shard therefore sees exactly the subsequence of the concatenated
+// client streams whose pages hash to it, in stream order, with a
+// per-shard seq counter equal to the request's index within that
+// subsequence — which is precisely what a sequential Simulate() of the
+// shard's partition observes. So the aggregate (and per-client) hit
+// counts of a deterministic run are bit-identical to per-shard
+// sequential Simulate() of the partitioned trace; ServeTrace arranges
+// client chunks so their concatenation is the original trace.
 //
 // Failure model (see DESIGN.md "Failure model & degradation"): every
 // resource a producer can exhaust is bounded and every wait can be
-// bounded. Admission into a client queue honours a depth cap under one
-// of three policies (block / block-with-deadline / shed), drained
-// batches can carry a service deadline past which they are dropped
-// instead of served stale, a watchdog sheds traffic routed at a shard
-// whose in-flight drain has exceeded a threshold, a hint-sanity guard
-// quarantines corrupted hint ids into an untrusted fallback bucket
-// instead of letting them index (or explode) policy state, and Stop()
-// aborts a wedged run — unblocking producers, discarding queued work
-// with exact accounting, and joining all consumers. Deterministic fault
-// injection (server/fault_injection.h) drives all of it reproducibly.
+// bounded. Admission into the rings honours a per-client depth cap
+// under one of three policies (block / block-with-deadline / shed),
+// admitted batches can carry a service deadline past which they are
+// dropped instead of served stale, a watchdog sheds traffic routed at a
+// shard whose in-flight drain has exceeded a threshold, a hint-sanity
+// guard quarantines corrupted hint ids into an untrusted fallback
+// bucket instead of letting them index (or explode) policy state, and
+// Stop() aborts a wedged run — unblocking producers, discarding queued
+// work with exact accounting, and joining all consumers. Deterministic
+// fault injection (server/fault_injection.h) drives all of it
+// reproducibly.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <chrono>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -46,6 +53,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/spsc_ring.h"
 #include "core/clic.h"
 #include "server/fault_injection.h"
 #include "sim/policy_factory.h"
@@ -56,7 +64,8 @@ namespace clic::server {
 /// Shard assignment for a page. FNV-1a over the page id so adjacent
 /// pages spread across shards; every component that partitions (the
 /// server, PartitionByShard, the determinism test) must use this one
-/// function.
+/// function. The server computes it once per request at submit time and
+/// carries the shard id alongside the batch from there on.
 std::size_t ShardOf(PageId page, std::size_t shards);
 
 /// Per-shard cache capacity for a total budget of `total_pages` split
@@ -111,6 +120,16 @@ enum class AdmissionPolicy : std::uint8_t {
 const char* AdmissionPolicyName(AdmissionPolicy p);
 std::optional<AdmissionPolicy> ParseAdmissionPolicy(const std::string& name);
 
+/// How shards are assigned to the consumer threads that own them.
+/// kStripe gives shard s to consumer s % consumers (neighbouring shards
+/// land on different cores — the default); kBlock gives each consumer a
+/// contiguous range of shards (friendlier when shard ids correlate with
+/// data placement). Either way the assignment is a static disjoint
+/// partition fixed at construction.
+enum class ShardAssignment : std::uint8_t { kStripe, kBlock };
+const char* ShardAssignmentName(ShardAssignment a);
+std::optional<ShardAssignment> ParseShardAssignment(const std::string& name);
+
 /// Exact admission/backpressure accounting, per client and aggregated.
 /// Invariants (asserted by tests/test_fault_injection.cc and gated in
 /// CI by tools/check_bench_floors.py on bench_overload rows):
@@ -118,6 +137,11 @@ std::optional<AdmissionPolicy> ParseAdmissionPolicy(const std::string& name);
 ///   enqueued  == applied + expired + stopped_in_queue
 /// so submitted == applied + shed + timed_out + expired + stopped,
 /// batch- and request-granular, with nothing counted twice or lost.
+/// A batch whose shard runs straddle several consumers completes with
+/// one outcome (stopped beats expired beats applied), so the ledger
+/// stays batch-exact even when Stop() interrupts a half-applied batch —
+/// in that case the shard-side requests_applied() may exceed the
+/// ledger's applied_requests, which counts whole batches.
 struct AdmissionStats {
   std::uint64_t submitted_batches = 0, submitted_requests = 0;
   std::uint64_t enqueued_batches = 0, enqueued_requests = 0;
@@ -153,17 +177,27 @@ struct ServerOptions {
   PolicyKind policy = PolicyKind::kLru;
   ClicOptions clic;  // applied when policy == kClic
   /// Single consumer draining clients in strict id order (see file
-  /// comment). Off: one consumer per min(clients, hardware) cores,
-  /// clients round-robined across consumers.
+  /// comment). Off: consumer count from `consumers`/`max_consumers`.
   bool deterministic = false;
-  /// Consumer thread cap for the non-deterministic mode; 0 = choose
-  /// from hardware concurrency.
+  /// Explicit consumer (owning-core) count; 0 = auto. Must be
+  /// <= shards (a consumer owning zero shards would idle forever) and
+  /// 1 when deterministic. Auto picks min(shards, max_consumers > 0 ?
+  /// max_consumers : hardware_concurrency).
+  unsigned consumers = 0;
+  /// Consumer thread cap for the auto mode; 0 = hardware concurrency.
   unsigned max_consumers = 0;
+  /// How shards map to owning consumers (see ShardAssignment).
+  ShardAssignment assignment = ShardAssignment::kStripe;
+  /// Capacity of each (client, consumer) SPSC ring, in batches. Must be
+  /// a power of two >= 2 (the ring masks instead of dividing); the
+  /// constructor throws naming the offending value otherwise.
+  std::size_t ring_capacity = 256;
 
   // ---- overload resilience (all off by default: the pre-existing
   // infinite-patience closed-loop behaviour) ----
 
-  /// Max pending batches per client queue; 0 = unbounded.
+  /// Max admitted-but-not-yet-drained batches per client; 0 = bounded
+  /// only by the rings themselves.
   std::size_t queue_cap = 0;
   /// What a producer does when the queue is at queue_cap.
   AdmissionPolicy admission = AdmissionPolicy::kBlock;
@@ -177,7 +211,7 @@ struct ServerOptions {
   /// shard whose in-flight drain has been running longer than this.
   /// Recovery is automatic the moment the stalled drain completes.
   double watchdog_ms = 0.0;
-  /// > 0: hint-sanity guard. A drained request with hint_set >=
+  /// > 0: hint-sanity guard. A submitted request with hint_set >=
   /// hint_bound (possible only via corruption — trace loading validates
   /// ids) is quarantined: remapped to the reserved untrusted hint id
   /// `hint_bound` and counted, instead of indexing policy state with
@@ -186,9 +220,9 @@ struct ServerOptions {
   /// priority; within its rank bucket eviction order is LRU, so
   /// degraded service stays sane. 0 = guard off (trusted callers).
   std::uint32_t hint_bound = 0;
-  /// Record per-drain latencies (lock-held time per shard batch
-  /// application) so DrainLatencyPercentiles() works. Off by default:
-  /// the sample vectors allocate during serving.
+  /// Record per-drain latencies (per-shard batch application time) so
+  /// DrainLatencyPercentiles() works. Off by default: the sample
+  /// vectors allocate during serving.
   bool record_drain_latency = false;
   /// Deterministic fault injection; not owned, may be nullptr (no
   /// faults — the hooks cost one branch per drain). A plan with
@@ -198,20 +232,29 @@ struct ServerOptions {
 
 /// A multi-tenant sharded cache server. Usage:
 ///   CacheServer server(options, num_clients);
-///   ... client threads call Submit(client, batch...) repeatedly,
-///       then Finish(client) exactly once ...
+///   ... one producer thread per client calls Submit(client, batch...)
+///       repeatedly, then Finish(client) exactly once ...
 ///   server.Shutdown();   // joins consumers; stats become readable
 /// Submit blocks until the batch has been applied (closed loop);
 /// SubmitAsync returns at admission (open loop, server copies the
 /// batch). Stop() aborts a run from any thread: blocked producers
 /// return kStopped, queued batches are discarded with exact accounting,
 /// and consumers join.
+///
+/// Threading contract: each client id must be driven by AT MOST ONE
+/// producer thread at a time (Submit / SubmitAsync / Finish for one
+/// client never race with themselves) — the SPSC rings and the plain
+/// producer-side ledger fields depend on it. Distinct clients may be
+/// driven from distinct threads freely, and Stop()/Shutdown() may be
+/// called from any thread.
 class CacheServer {
  public:
-  /// Builds shards and starts consumer threads. Throws
-  /// std::invalid_argument for unusable options (zero shards/clients,
-  /// OPT policy, deadline admission without a timeout, corruption
-  /// injection without a hint guard).
+  /// Builds shards, wires the ownership topology, and starts consumer
+  /// threads. Throws std::invalid_argument for unusable options (zero
+  /// shards/clients, OPT policy, consumers > shards, more than one
+  /// consumer in deterministic mode, non-power-of-two ring capacity,
+  /// deadline admission without a timeout, corruption injection without
+  /// a hint guard).
   CacheServer(const ServerOptions& options, std::size_t num_clients);
   ~CacheServer();
 
@@ -219,11 +262,10 @@ class CacheServer {
   CacheServer& operator=(const CacheServer&) = delete;
 
   /// Closed loop: admits one batch for `client` and blocks until every
-  /// request in it has been applied to its shard — or until admission
-  /// rejects it (kShed / kTimedOut), its deadline expires in queue
-  /// (kExpired), or Stop() aborts the run (kStopped). Safe to call from
-  /// many client threads concurrently. The caller keeps ownership of
-  /// `requests`; they are not copied and must stay valid until return.
+  /// request in it has been applied by its owning consumers — or until
+  /// admission rejects it (kShed / kTimedOut), its deadline expires in
+  /// queue (kExpired), or Stop() aborts the run (kStopped). The caller
+  /// keeps ownership of `requests`; they must stay valid until return.
   SubmitResult Submit(std::size_t client, const Request* requests,
                       std::size_t n);
 
@@ -238,31 +280,35 @@ class CacheServer {
   /// before Shutdown() returns.
   void Finish(std::size_t client);
 
-  /// Waits for all queues to drain and joins the consumer threads.
+  /// Waits for all rings to drain and joins the consumer threads.
   /// Idempotent; called by the destructor if needed.
   void Shutdown();
 
   /// Aborts the run: producers blocked at admission (or waiting for a
   /// closed-loop batch) return kStopped, every still-queued batch is
   /// discarded and counted as stopped, and consumers exit after the
-  /// batch they are currently applying (a fault-injected stall checks
-  /// the stop flag every millisecond, so even a stalled shard unwinds
-  /// promptly). Joins the consumers before returning; idempotent, and
-  /// a later Shutdown() is a no-op.
+  /// batch slice they are currently applying (a fault-injected stall
+  /// checks the stop flag every millisecond, so even a stalled shard
+  /// unwinds promptly). Joins the consumers before returning;
+  /// idempotent, and a later Shutdown() is a no-op.
   void Stop();
 
-  // Stats. Exact (every applied request is counted under its shard
-  // lock); call after Shutdown()/Stop() for a quiescent snapshot.
+  // Stats. Exact (every applied request is counted by its shard's
+  // owning consumer); call after Shutdown()/Stop() for a quiescent
+  // snapshot — the consumer joins give the necessary happens-before.
   CacheStats TotalStats() const;
   std::map<ClientId, CacheStats> PerClientStats() const;
   std::vector<CacheStats> PerShardStats() const;
   std::uint64_t requests_applied() const;
   std::uint64_t batches_applied() const;
-  /// Number of per-shard batch applications (lock acquisitions paired
-  /// with one AccessBatch call). requests_applied() / shard_drains() is
-  /// the consumer-side batch size actually achieved — the submitted
-  /// batch size divided by how many shards each batch straddled.
+  /// Number of per-shard batch applications (contiguous shard runs
+  /// handed to AccessBatch). requests_applied() / shard_drains() is the
+  /// consumer-side batch size actually achieved — the submitted batch
+  /// size divided by how many shards each batch straddled.
   std::uint64_t shard_drains() const;
+  /// Requests applied by each consumer thread — the per-core load
+  /// picture bench_server_scaling reports as per-core req/s.
+  std::vector<std::uint64_t> PerConsumerRequests() const;
 
   /// Admission/backpressure accounting (see AdmissionStats invariants).
   AdmissionStats TotalAdmission() const;
@@ -279,108 +325,176 @@ class CacheServer {
   std::size_t shards() const { return shards_.size(); }
   std::size_t pages_per_shard() const { return pages_per_shard_; }
   unsigned consumers() const { return static_cast<unsigned>(consumers_.size()); }
+  /// The consumer that owns shard `s` under the configured assignment.
+  std::size_t OwnerOf(std::size_t shard) const { return owner_of_[shard]; }
 
  private:
   using Clock = std::chrono::steady_clock;
 
-  /// One submitted batch. Closed-loop batches live on the producer's
-  /// stack and point at caller memory; open-loop batches are heap-
-  /// allocated, own a copy in `owned`, and are deleted by the consumer.
-  /// `done`/`result` are written under the owning queue's mutex.
+  /// A contiguous per-shard run inside a routed batch: requests
+  /// [offset, offset + count) of the batch's request span all hash to
+  /// `shard`. Runs are shard-ascending; the owning consumer applies
+  /// exactly the runs whose shard it owns.
+  struct ShardRun {
+    std::uint32_t shard = 0;
+    std::uint32_t offset = 0;
+    std::uint32_t count = 0;
+  };
+
+  // Batch completion bits, OR-ed by slices; precedence stopped >
+  // expired > applied when the last slice finalizes the outcome.
+  static constexpr std::uint8_t kExpiredBit = 1;
+  static constexpr std::uint8_t kStoppedBit = 2;
+
+  /// One submitted batch. Closed-loop batches are reusable per-client
+  /// slots inside ClientPort (one in flight per client by the producer
+  /// contract); open-loop batches are heap-allocated and deleted by the
+  /// consumer that completes the last slice. The producer fully routes
+  /// and publishes the batch before the ring pushes; the ring's
+  /// release/acquire pair makes every plain field visible to consumers.
   struct Batch {
-    const Request* requests = nullptr;
+    const Request* reqs = nullptr;   // shard-grouped span (or caller's,
+                                     // single-shard unmutated fast path)
+    std::vector<Request> routed;     // backing store when copied
+    std::vector<ShardRun> runs;      // shard-ascending
     std::size_t n = 0;
-    std::vector<Request> owned;  // open-loop storage
-    Clock::time_point deadline{};  // epoch = no deadline
+    Clock::time_point deadline{};    // epoch = no deadline
     std::uint64_t submit_index = 0;  // 1-based per client; drives faults
     ClientId client = 0;
     bool async = false;
-    bool done = false;
+    bool has_quarantine = false;     // any request remapped by the guard
+    /// Slices (owning consumers) that have not yet popped / finished.
+    std::atomic<std::uint32_t> unpopped{0};
+    std::atomic<std::uint32_t> pending{0};
+    std::atomic<std::uint8_t> fail_bits{0};
+    std::atomic<bool> done{false};
+    /// Set (under the port mutex) by a producer that gave up spinning;
+    /// tells the finishing consumer a done_cv notify is needed.
+    std::atomic<bool> waiting{false};
     SubmitResult result = SubmitResult::kApplied;
   };
 
-  /// Per-client ingress queue: producers push under `mu`, the assigned
-  /// consumer pops. MPSC by construction (any thread may produce for
-  /// the client; exactly one consumer services the queue). `adm` is the
-  /// queue's exact admission ledger, mutated only under `mu`.
-  struct ClientQueue {
-    std::mutex mu;
-    std::condition_variable arrival;   // consumer waits: batch, eos, stop
-    std::condition_variable space;     // producer waits: below queue_cap
-    std::condition_variable done_cv;   // producer waits: batch done
-    std::deque<Batch*> pending;
-    AdmissionStats adm;
+  /// Per-client ingress port: one SPSC ring per consumer (this client
+  /// produces, that consumer pops), plain producer-side ledger fields
+  /// (single producer thread per client), atomic completion-side
+  /// counters (any consumer may finish a batch), and the mutex+CV
+  /// control path for admission waits and post-spin completion parking.
+  struct ClientPort {
+    // --- producer-side (plain: one producer thread per client) ---
+    AdmissionStats adm;  // submitted/enqueued/shed/timed_out/stopped@admission
     std::uint64_t submit_counter = 0;  // 1-based index for fault hooks
-    bool eos = false;
+    Batch sync_batch;                  // reusable closed-loop batch
+    std::vector<Request> staging;      // mutation buffer (corrupt/guard)
+    std::vector<std::uint32_t> shard_ids;   // ShardOf, once per request
+    std::vector<std::uint32_t> run_offset;  // routing scratch, one/shard
+    std::vector<std::size_t> targets;       // owning consumers of a batch
+    // --- shared ---
+    std::vector<std::unique_ptr<SpscRing<Batch*>>> rings;  // one/consumer
+    std::atomic<std::uint64_t> queued{0};  // admitted, not yet fully popped
+    std::atomic<bool> eos{false};
+    /// Producer is inside the push phase (reserve..push). Stop()'s
+    /// drain spins this flag out so a push can never land in a ring
+    /// after the final drain pass (see Admit/Stop).
+    std::atomic<bool> submitting{false};
+    // --- completion-side (atomics: consumers finish batches) ---
+    std::atomic<std::uint64_t> applied_batches{0}, applied_requests{0};
+    std::atomic<std::uint64_t> expired_batches{0}, expired_requests{0};
+    std::atomic<std::uint64_t> stopped_batches{0}, stopped_requests{0};
+    // --- control path (slow: admission waits, post-spin parking) ---
+    std::mutex mu;
+    std::condition_variable space_cv;  // producer waits: space/cap/stop
+    std::condition_variable done_cv;   // producer waits: batch done
+    std::atomic<bool> space_waiter{false};
   };
 
-  /// A cache shard: policy + stats behind one mutex. The Policy
-  /// interface is not thread-safe (core/policy.h); `mu` is the sole
-  /// serialization point for AccessBatch() on this shard's policy, and
-  /// the NDEBUG-gated `entered` flag asserts that discipline holds.
-  struct Shard {
+  /// One owning consumer: its shard set, per-core apply scratch and
+  /// stats, and the nap control path (flag + CV) producers use to wake
+  /// it without a steady-state mutex.
+  struct Consumer {
+    std::vector<std::size_t> owned;    // shard ids, ascending
+    std::vector<std::uint8_t> done_client;  // eos seen + ring drained
+    std::vector<std::uint8_t> hits;    // AccessBatch output buffer
+    std::uint64_t requests = 0;        // applied by this consumer
+    std::uint64_t batches_processed = 0;  // drives consumer-pause faults
     std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<bool> napping{false};
+  };
+
+  /// A cache shard: policy + stats, owned by exactly one consumer. No
+  /// mutex: the Policy interface is not thread-safe (core/policy.h) and
+  /// the static ownership partition IS the serialization — only the
+  /// owning consumer ever touches policy/seq/stats, which the
+  /// NDEBUG-gated `entered` flag still asserts.
+  struct Shard {
     std::unique_ptr<Policy> policy;
     SeqNum seq = 0;
     std::vector<CacheStats> client_stats;  // indexed by Request::client
     std::uint64_t requests = 0;
-    std::uint64_t drains = 0;  // AccessBatch calls (= lock acquisitions)
+    std::uint64_t drains = 0;  // AccessBatch calls (= applied runs)
     std::uint64_t quarantined = 0;  // untrusted-hint remaps in this shard
     std::vector<double> drain_us;   // per-drain latency samples (opt-in)
     /// Nanoseconds-since-steady-epoch when the in-flight drain started,
-    /// 0 when idle. Written by the draining consumer, read lock-free by
+    /// 0 when idle. Written by the owning consumer, read lock-free by
     /// the admission watchdog.
     std::atomic<std::int64_t> busy_since_ns{0};
 #ifndef NDEBUG
-    bool entered = false;  // set/cleared under mu; asserts single entry
+    std::atomic<bool> entered{false};  // asserts single-owner discipline
 #endif
   };
 
-  /// Per-consumer scratch, reused across batches so the drain path
-  /// allocates only on capacity growth: each submitted batch is
-  /// gathered into contiguous per-shard request runs (AccessBatch
-  /// takes a contiguous span) plus one hit-byte buffer. `mutated`
-  /// holds the writable copy a corruption or quarantine pass needs.
-  struct Scratch {
-    std::vector<std::vector<Request>> buckets;  // one per shard
-    std::vector<std::uint8_t> hits;
-    std::vector<Request> mutated;
-    std::uint64_t batches_processed = 0;  // drives consumer-pause faults
-  };
-
-  /// Shared admission path. Returns kEnqueued and transfers `batch`
-  /// into the queue on success; any other result means the batch was
-  /// not enqueued (and, for async batches, that the caller must free
-  /// it). All accounting happens here under q.mu.
-  SubmitResult Admit(ClientQueue& q, Batch* batch);
-  /// True when `reqs` contains a request routed at a shard whose
-  /// in-flight drain exceeds the watchdog threshold. Only called on the
-  /// degraded path (some shard already looked stalled).
-  bool TouchesStalledShard(const Request* reqs, std::size_t n,
-                           std::int64_t now_ns) const;
-  void ApplyBatch(std::size_t consumer_index, Batch& batch);
-  /// Marks `batch` done with `result` under q.mu, updates the ledger,
-  /// wakes a closed-loop producer or frees an open-loop batch.
-  void CompleteBatch(ClientQueue& q, Batch* batch, SubmitResult result);
-  /// Discards every still-pending batch of `q` as kStopped.
-  void AbortPending(ClientQueue& q);
-  void ConsumeRoundRobin(std::size_t consumer_index);
+  /// Shared admission + routing path. Computes every request's shard
+  /// once, groups the batch into per-shard runs, applies seeded
+  /// corruption and the hint-sanity quarantine on the producer side,
+  /// reserves space in every target ring (all-or-nothing, so a batch is
+  /// never half-pushed), and pushes one slice per owning consumer.
+  /// Returns kEnqueued on success; any other result means nothing was
+  /// pushed. All admission-side accounting happens here on the plain
+  /// producer fields.
+  SubmitResult Admit(ClientPort& port, Batch* batch, const Request* requests,
+                     std::size_t n);
+  /// Builds batch->reqs/runs from `requests`, including the corruption
+  /// and quarantine passes (both submit-time now; corruption stays
+  /// bit-identical because it draws from the same (seed, client,
+  /// submit_index) RNG over the original batch order).
+  void RouteBatch(ClientPort& port, Batch* batch, const Request* requests,
+                  std::size_t n);
+  /// True when one of the batch's shard runs targets a shard whose
+  /// in-flight drain exceeds the watchdog threshold. O(runs), using the
+  /// shard ids computed at routing — no page rescan.
+  bool TouchesStalledShard(const Batch& batch, std::int64_t now_ns) const;
+  /// Closed-loop completion wait: spin on `done`, then park on the
+  /// port's done_cv with the waiting flag handshake.
+  SubmitResult WaitDone(ClientPort& port, Batch& batch);
+  /// Pop-side bookkeeping shared by consumers and the Stop() drain:
+  /// decrements unpopped/queued and wakes a space-waiting producer.
+  void NoteSlicePopped(ClientPort& port, Batch* batch);
+  /// Applies consumer `k`'s owned runs of `batch` to their shards.
+  void ApplySlice(std::size_t k, Batch& batch);
+  /// Finishes one slice: last finisher resolves the batch outcome
+  /// (stopped > expired > applied), updates the completion ledger,
+  /// publishes done, wakes a parked producer, frees async batches.
+  void FinishSlice(ClientPort& port, Batch* batch, std::uint8_t bits);
+  /// Pops and fully processes one batch slice from client `c`'s ring of
+  /// consumer `k`. Returns false when the ring was empty.
+  bool PopAndProcess(std::size_t k, std::size_t c);
+  void ConsumeOwned(std::size_t k);
   void ConsumeInClientOrder();
+  void NapConsumer(std::size_t k);
+  void WakeConsumer(std::size_t k);
   void StallIfPlanned(Shard& shard, std::size_t shard_index);
-  void PauseIfPlanned(std::size_t consumer_index, Scratch& scratch);
-  /// Applies the plan's seeded hint corruption and/or the hint-sanity
-  /// quarantine to the batch, switching `reqs` to the scratch copy when
-  /// a mutation is actually needed. Returns the effective request span.
-  const Request* PrepareRequests(Scratch& scratch, const Batch& batch,
-                                 std::uint64_t* quarantined_out);
+  void PauseIfPlanned(std::size_t consumer_index, std::uint64_t processed);
+  AdmissionStats SnapshotAdmission(const ClientPort& port) const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<std::unique_ptr<ClientQueue>> queues_;
-  std::vector<std::thread> consumers_;
-  std::vector<Scratch> scratch_;
+  std::vector<std::unique_ptr<ClientPort>> ports_;
+  std::vector<std::unique_ptr<Consumer>> consumers_;
+  std::vector<std::thread> threads_;
+  std::vector<std::uint32_t> owner_of_;  // shard -> owning consumer
   std::size_t pages_per_shard_ = 0;
   bool deterministic_ = false;
   bool joined_ = false;
+  std::size_t ring_capacity_ = 256;
   std::size_t queue_cap_ = 0;
   AdmissionPolicy admission_ = AdmissionPolicy::kBlock;
   double submit_timeout_ms_ = 0.0;
@@ -431,9 +545,18 @@ struct ServeResult {
   std::uint64_t batches = 0;
   /// Per-shard AccessBatch applications; requests / shard_drains is the
   /// average drained batch size (how much of the submitted batch size
-  /// survives hash-sharding — the lock-amortization actually achieved).
+  /// survives hash-sharding — the batch amortization actually achieved).
   std::uint64_t shard_drains = 0;
   double avg_drained_batch = 0.0;
+  /// Ownership topology actually used, and what the machine offered:
+  /// consumer (owning-core) count, std::thread::hardware_concurrency,
+  /// and requests applied per consumer. per-core req/s is
+  /// requests / consumers / wall_seconds; bench_server_scaling and
+  /// bench_overload emit it so multi-core runners can gate scaling
+  /// while a 1-core container is recognizable as such.
+  unsigned consumers = 0;
+  unsigned cores_detected = 0;
+  std::vector<std::uint64_t> per_consumer_requests;
   /// Exact admission ledger across all clients.
   AdmissionStats admission;
   std::uint64_t quarantined = 0;

@@ -74,6 +74,14 @@ void Usage(std::FILE* out) {
       "                     (default 12000)\n"
       "  --clients=C        closed-loop client threads (default 4)\n"
       "  --batch=B          requests per submitted batch (default 64)\n"
+      "  --consumers=K      owning-consumer (core) threads; each consumer\n"
+      "                     owns a disjoint set of shards. 0 = auto\n"
+      "                     (min(shards, hardware cores)). Must be\n"
+      "                     <= shards; forced to 1 by --deterministic\n"
+      "  --owned-shards=A   stripe | block: how shards map to owning\n"
+      "                     consumers (default stripe)\n"
+      "  --ring-capacity=N  per-(client,consumer) SPSC ring capacity in\n"
+      "                     batches; a power of two >= 2 (default 256)\n"
       "  --deterministic    single consumer, strict client order: hit\n"
       "                     counts match per-shard sequential Simulate()\n"
       "  --verify           with --deterministic: check that equivalence\n"
@@ -182,6 +190,26 @@ CliOptions Parse(int argc, char** argv) {
     } else if (key == "--cache-pages") {
       opts.server.cache_pages =
           static_cast<std::size_t>(cli::ParseU64(kProg, key, value));
+    } else if (key == "--consumers") {
+      const std::uint64_t consumers = cli::ParseU64(kProg, key, value);
+      if (consumers > 4096) Die(key + "='" + value + "' is unreasonably large");
+      opts.server.consumers = static_cast<unsigned>(consumers);
+    } else if (key == "--owned-shards") {
+      const std::optional<ShardAssignment> assignment =
+          ParseShardAssignment(value);
+      if (!assignment) {
+        Die("unknown --owned-shards='" + value +
+            "' (valid: stripe, block)");
+      }
+      opts.server.assignment = *assignment;
+    } else if (key == "--ring-capacity") {
+      const std::uint64_t capacity = cli::ParseU64(kProg, key, value);
+      if (capacity < 2 || (capacity & (capacity - 1)) != 0) {
+        Die("--ring-capacity='" + value +
+            "' must be a power of two >= 2 (the ring masks instead of "
+            "dividing)");
+      }
+      opts.server.ring_capacity = static_cast<std::size_t>(capacity);
     } else if (key == "--clients") {
       const std::uint64_t clients = cli::ParseU64(kProg, key, value);
       if (clients > 4096) Die(key + "='" + value + "' is unreasonably large");
@@ -261,6 +289,15 @@ CliOptions Parse(int argc, char** argv) {
     Die("--deterministic and --duration are incompatible: duration mode "
         "replays in wall-clock order");
   }
+  if (opts.server.consumers > opts.server.shards) {
+    Die("--consumers=" + std::to_string(opts.server.consumers) +
+        " exceeds --shards=" + std::to_string(opts.server.shards) +
+        " (a consumer must own at least one shard)");
+  }
+  if (opts.server.deterministic && opts.server.consumers > 1) {
+    Die("--deterministic runs exactly one consumer (strict client order); "
+        "drop --consumers=" + std::to_string(opts.server.consumers));
+  }
   if (opts.server.queue_cap > 0 &&
       opts.server.admission == AdmissionPolicy::kBlockWithDeadline &&
       opts.server.submit_timeout_ms <= 0.0) {
@@ -310,7 +347,8 @@ std::string CsvSummaryHeader() {
          "avg_drained_batch,reads,writes,read_hits,write_hits,"
          "read_hit_ratio,write_hit_ratio,submitted_requests,shed_requests,"
          "timed_out_requests,expired_requests,quarantined,watchdog_sheds,"
-         "wall_seconds,throughput_rps,p50_us,p99_us,per_client";
+         "wall_seconds,throughput_rps,consumers,cores_detected,per_core_rps,"
+         "p50_us,p99_us,per_client";
 }
 
 std::string CsvSummaryRow(const CliOptions& opts, const ServeResult& r,
@@ -371,6 +409,13 @@ std::string CsvSummaryRow(const CliOptions& opts, const ServeResult& r,
   AppendDouble(&out, r.wall_seconds);
   out.push_back(',');
   AppendDouble(&out, r.throughput_rps);
+  out.push_back(',');
+  out.append(std::to_string(r.consumers));
+  out.push_back(',');
+  out.append(std::to_string(r.cores_detected));
+  out.push_back(',');
+  AppendDouble(&out, r.throughput_rps /
+                         static_cast<double>(std::max(1u, r.consumers)));
   out.push_back(',');
   AppendDouble(&out, r.p50_us);
   out.push_back(',');
@@ -438,6 +483,19 @@ std::string JsonSummary(const CliOptions& opts, const ServeResult& r,
   AppendDouble(&out, r.wall_seconds);
   out.append(",\"throughput_rps\":");
   AppendDouble(&out, r.throughput_rps);
+  out.append(",\"consumers\":");
+  out.append(std::to_string(r.consumers));
+  out.append(",\"cores_detected\":");
+  out.append(std::to_string(r.cores_detected));
+  out.append(",\"per_core_rps\":");
+  AppendDouble(&out, r.throughput_rps /
+                         static_cast<double>(std::max(1u, r.consumers)));
+  out.append(",\"per_consumer_requests\":[");
+  for (std::size_t k = 0; k < r.per_consumer_requests.size(); ++k) {
+    if (k > 0) out.push_back(',');
+    out.append(std::to_string(r.per_consumer_requests[k]));
+  }
+  out.append("]");
   out.append(",\"p50_us\":");
   AppendDouble(&out, r.p50_us);
   out.append(",\"p99_us\":");
@@ -662,11 +720,15 @@ int Main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(stderr,
-               "clic_serve: %llu requests in %.3fs (%.0f req/s), p50 %.1fus "
-               "p99 %.1fus, avg drained batch %.1f\n",
+               "clic_serve: %llu requests in %.3fs (%.0f req/s over %u "
+               "consumer%s, %.0f req/s/core), p50 %.1fus p99 %.1fus, avg "
+               "drained batch %.1f\n",
                static_cast<unsigned long long>(result.requests),
-               result.wall_seconds, result.throughput_rps, result.p50_us,
-               result.p99_us, result.avg_drained_batch);
+               result.wall_seconds, result.throughput_rps, result.consumers,
+               result.consumers == 1 ? "" : "s",
+               result.throughput_rps /
+                   static_cast<double>(std::max(1u, result.consumers)),
+               result.p50_us, result.p99_us, result.avg_drained_batch);
   if (result.admission.shed_requests + result.admission.timed_out_requests +
           result.admission.expired_requests + result.quarantined >
       0) {

@@ -1,8 +1,10 @@
 // Deterministic fault injection for the online cache server.
 //
 // A FaultPlan is a seeded, declarative description of the chaos a run
-// should experience: shard stalls (the drain path holds the shard lock
-// and sleeps, as a seized disk or a page-compression stall would),
+// should experience: shard stalls (the owning consumer sleeps inside
+// the shard's drain, as a seized disk or a page-compression stall
+// would — blocking that core's whole shard set, since ownership is the
+// only serialization),
 // consumer pauses (the drain thread naps between batches, as a noisy
 // neighbour or a GC pause would), deterministic admission shedding
 // (every k-th batch of every client is rejected, simulating an
@@ -31,10 +33,12 @@
 namespace clic::server::fault {
 
 /// Shard `shard` sleeps `ms` milliseconds at the start of each of its
-/// drains [after_drain, after_drain + drains), while holding the shard
-/// lock — the canonical "one slow shard" scenario. The sleep loop
-/// checks the server's stop flag every millisecond so Stop() never
-/// waits out a long stall.
+/// drains [after_drain, after_drain + drains). The sleep happens on the
+/// owning consumer thread — there is no shard lock to hold; blocking
+/// the owner stalls every shard that consumer owns, which is exactly
+/// the blast radius a seized disk has under thread-per-core ownership.
+/// The sleep loop checks the server's stop flag every millisecond so
+/// Stop() never waits out a long stall.
 struct ShardStall {
   std::size_t shard = 0;
   std::uint64_t after_drain = 0;

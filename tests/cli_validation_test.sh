@@ -119,6 +119,21 @@ expect_reject "clic_serve verify vs watchdog" "--watchdog-ms" "reproducible" -- 
 expect_reject "clic_serve verify vs shed admission" "shed" "--admission=block" -- \
   "$SERVE" --trace=DB2_C60 --deterministic --verify --queue-cap=4 --admission=shed
 
+# Thread-per-core topology flags (PR 7): a consumer owning zero shards
+# would idle forever, deterministic mode is one consumer by definition,
+# and the SPSC ring masks its cursors so the capacity must be a power
+# of two — each misuse must fail fast naming the offending value.
+expect_reject "clic_serve zero consumers" "--consumers" "positive integer" -- \
+  "$SERVE" --trace=DB2_C60 --consumers=0
+expect_reject "clic_serve consumers exceed shards" "--consumers=4" "exceeds --shards" -- \
+  "$SERVE" --trace=DB2_C60 --shards=2 --consumers=4
+expect_reject "clic_serve deterministic with multiple consumers" "--consumers=2" "exactly one consumer" -- \
+  "$SERVE" --trace=DB2_C60 --deterministic --consumers=2
+expect_reject "clic_serve non-power-of-two ring capacity" "96" "power of two" -- \
+  "$SERVE" --trace=DB2_C60 --ring-capacity=96
+expect_reject "clic_serve unknown ownership assignment" "bogus" "stripe, block" -- \
+  "$SERVE" --trace=DB2_C60 --owned-shards=bogus
+
 # Batch larger than the request budget is a typo, not a workload. This
 # one loads (a tiny capped slice of) the trace, so point the cache at a
 # scratch dir to keep the test hermetic.

@@ -18,6 +18,17 @@ EXACTLY — submitted == served + shed + timed_out + expired + stopped —
 and each run must actually serve something. A request the server
 neither served nor accounted for as rejected is a lost write from the
 client's point of view, so any imbalance fails the build.
+
+Rows with mode=="server" (from bench_server_scaling, PR 7) gate the
+thread-per-core shard-ownership claim: on a machine that actually has
+cores to scale across (any row reports cores_detected > 1), the best
+multi-consumer rate per policy must be at least as good as the best
+single-consumer rate — shard ownership that LOSES throughput when given
+more cores means the rings or the routing regressed. On a 1-core box
+the server collapses every topology to one consumer, so the gate prints
+an explicit skip note instead of demanding scaling the hardware cannot
+show. Missing expected rows (a policy with multi-core rows but no
+single- or multi-consumer sample) exits 2, same as a missing log.
 """
 import json
 import sys
@@ -41,6 +52,13 @@ def main(argv):
     rows = 0
     overload_rows = 0
     overload_failures = 0
+    # mode=="server" scaling samples: per policy, best rate seen with one
+    # consumer and best rate seen with more than one (plus whether any
+    # row saw a multi-core machine at all).
+    server_single = {policy: None for policy in floors}
+    server_multi = {policy: None for policy in floors}
+    server_rows = 0
+    multicore_seen = False
     for line in lines:
         line = line.strip()
         if not line:
@@ -48,6 +66,19 @@ def main(argv):
         row = json.loads(line)
         rows += 1
         name = row.get("bench", "")
+        if row.get("mode") == "server":
+            server_rows += 1
+            rate = float(row.get("requests_per_sec", 0.0))
+            consumers = int(row.get("consumers", 1))
+            if int(row.get("cores_detected", 1)) > 1:
+                multicore_seen = True
+            parts = name.split("/")
+            for policy in floors:
+                if policy in parts:
+                    bucket = server_single if consumers <= 1 else server_multi
+                    if bucket[policy] is None or rate > bucket[policy]:
+                        bucket[policy] = rate
+            continue  # scaling rows are gated below, not by the floors
         if row.get("mode") == "overload":
             overload_rows += 1
             submitted = int(row.get("submitted", -1))
@@ -80,6 +111,26 @@ def main(argv):
               f"{overload_rows - overload_failures}/{overload_rows} rows "
               f"{verdict}")
     failed = overload_failures > 0
+    if server_rows:
+        if not multicore_seen:
+            print("check_bench_floors: server scaling gate SKIPPED "
+                  "(cores_detected=1 everywhere: one consumer is the only "
+                  "topology this box can run)")
+        else:
+            for policy in floors:
+                single, multi = server_single[policy], server_multi[policy]
+                if single is None or multi is None:
+                    print(f"check_bench_floors: {policy}: multi-core server "
+                          f"rows present but missing a "
+                          f"{'single' if single is None else 'multi'}"
+                          f"-consumer sample in {path}", file=sys.stderr)
+                    return 2
+                ratio = multi / single if single > 0 else 0.0
+                verdict = "OK" if multi >= single else "REGRESSED"
+                print(f"check_bench_floors: {policy:5s} server scaling "
+                      f"multi/single = {multi/1e6:.2f}M/{single/1e6:.2f}M "
+                      f"req/s ({ratio:.2f}x) {verdict}")
+                failed = failed or multi < single
     for policy, floor in floors.items():
         rate = best[policy]
         if rate is None:
