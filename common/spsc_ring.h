@@ -57,6 +57,7 @@ class SpscRing {
   SpscRing& operator=(const SpscRing&) = delete;
 
   /// Producer side. Returns false when the ring is full.
+  // clic-lint: hot-path
   bool TryPush(const T& value) {
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - cached_head_ >= capacity_) {
@@ -69,6 +70,7 @@ class SpscRing {
   }
 
   /// Consumer side. Returns false when the ring is empty.
+  // clic-lint: hot-path
   bool TryPop(T* out) {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
     if (head == cached_tail_) {

@@ -1,0 +1,121 @@
+// Clang thread-safety capability annotations plus the annotated mutex
+// wrapper the serving layer uses (see DESIGN.md "Static analysis").
+//
+// Two kinds of capability live in this repo:
+//
+//   1. clic::Mutex — a real std::mutex carrying the `capability`
+//      attribute, so clang's -Wthread-safety analysis tracks where it
+//      is held. libstdc++'s std::mutex is unannotated, which makes raw
+//      std::mutex invisible to the analysis; every mutex the analysis
+//      should reason about must be a clic::Mutex.
+//   2. clic::ThreadRole — a zero-size, zero-cost compile-time-only
+//      capability standing for a *role* contract rather than a lock:
+//      "I am the single producer thread for this client port", "I am
+//      the consumer that owns this shard". Acquire/Release/AssertHeld
+//      compile to nothing; the value is that any function touching a
+//      CLIC_GUARDED_BY(role) field without declaring CLIC_REQUIRES(role)
+//      fails the clang build. This is how the thread-per-core shard
+//      ownership invariant (PR 7) is enforced at compile time instead
+//      of by TSan coverage and code review.
+//
+// The macros are no-ops on non-clang compilers (GCC builds are
+// unaffected); CI builds with clang++ -Wthread-safety
+// -Werror=thread-safety-analysis so a violation is a build break.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define CLIC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CLIC_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a type to be a capability (lockable / role).
+#define CLIC_CAPABILITY(x) CLIC_THREAD_ANNOTATION(capability(x))
+/// RAII type that acquires a capability in its constructor and releases
+/// it in its destructor.
+#define CLIC_SCOPED_CAPABILITY CLIC_THREAD_ANNOTATION(scoped_lockable)
+/// Field may only be touched while the named capability is held.
+#define CLIC_GUARDED_BY(x) CLIC_THREAD_ANNOTATION(guarded_by(x))
+/// Pointed-to data may only be touched while the capability is held.
+#define CLIC_PT_GUARDED_BY(x) CLIC_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Caller must hold the named capability/ies.
+#define CLIC_REQUIRES(...) \
+  CLIC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the capability and holds it on return.
+#define CLIC_ACQUIRE(...) \
+  CLIC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the capability.
+#define CLIC_RELEASE(...) \
+  CLIC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Caller must NOT hold the capability (the callee acquires it itself —
+/// declares non-reentrancy, catching self-deadlock at compile time).
+#define CLIC_EXCLUDES(...) CLIC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Tells the analysis the capability is already held here (used on
+/// quiescent post-join snapshot paths, where the thread joins provide
+/// the happens-before the role would otherwise assert).
+#define CLIC_ASSERT_CAPABILITY(...) \
+  CLIC_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+/// Function returns a reference to the named capability.
+#define CLIC_RETURN_CAPABILITY(x) CLIC_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch. Every use must carry a written one-line justification
+/// and is counted in DESIGN.md's suppression report; server/ data-path
+/// code must have zero of these (enforced by review + the DESIGN.md
+/// count).
+#define CLIC_NO_THREAD_SAFETY_ANALYSIS \
+  CLIC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace clic {
+
+/// std::mutex with the capability attribute, so -Wthread-safety tracks
+/// it. `native()` exposes the underlying std::mutex for
+/// std::condition_variable waits; the analysis treats the returned
+/// reference as this same capability.
+class CLIC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CLIC_ACQUIRE() { mu_.lock(); }
+  void Unlock() CLIC_RELEASE() { mu_.unlock(); }
+  std::mutex& native() CLIC_RETURN_CAPABILITY(this) { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped holder for clic::Mutex (the std::lock_guard the analysis can
+/// see).
+class CLIC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CLIC_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() CLIC_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Compile-time-only role capability (see file comment). All members
+/// compile to nothing; holding the role is a statement about which
+/// thread is executing, not about a lock. Acquire when a thread takes
+/// on the role (a consumer thread entering its drain loop, a producer
+/// entering Submit), Release when it leaves, AssertHeld on quiescent
+/// paths where thread joins already serialize (post-Shutdown stats
+/// snapshots).
+class CLIC_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  void Acquire() const CLIC_ACQUIRE() {}
+  void Release() const CLIC_RELEASE() {}
+  void AssertHeld() const CLIC_ASSERT_CAPABILITY() {}
+};
+
+}  // namespace clic

@@ -215,11 +215,13 @@ void ClicPolicy::InsertCached(std::uint32_t slot_index, SeqNum now) {
   BucketPushFront(hints_.rank[s.hint], slot_index);
 }
 
+// clic-lint: hot-path
 bool ClicPolicy::Access(const Request& r, SeqNum seq) {
   if (seq >= next_window_end_) EndWindow(next_window_end_);
   return AccessOne(r, seq);
 }
 
+// clic-lint: hot-path
 template <int kTracker>
 void ClicPolicy::RunBatchSpan(const Request* reqs, SeqNum first_seq,
                               std::size_t begin, std::size_t end,
@@ -241,6 +243,7 @@ void ClicPolicy::RunBatchSpan(const Request* reqs, SeqNum first_seq,
   }
 }
 
+// clic-lint: hot-path
 void ClicPolicy::AccessBatch(const Request* reqs, SeqNum first_seq,
                              std::size_t n, std::uint8_t* hits_out) {
   std::size_t i = 0;
@@ -275,12 +278,14 @@ void ClicPolicy::AccessBatch(const Request* reqs, SeqNum first_seq,
   }
 }
 
+// clic-lint: hot-path
 inline bool ClicPolicy::AccessOne(const Request& r, SeqNum seq) {
   if (space_saving_) return AccessOneT<1>(r, seq);
   if (lossy_counting_) return AccessOneT<2>(r, seq);
   return AccessOneT<0>(r, seq);
 }
 
+// clic-lint: hot-path
 template <int kTracker>
 inline bool ClicPolicy::AccessOneT(const Request& r, SeqNum seq) {
   last_seq_ = seq;

@@ -27,6 +27,7 @@ void ArcPolicy::DropGhost(ListHead& list) {
   arena_.Free(ghost);
 }
 
+// clic-lint: hot-path
 inline bool ArcPolicy::AccessOne(const Request& r) {
   const std::uint32_t slot = table_.Get(r.page);
   if (slot != kInvalidIndex) {
@@ -86,10 +87,12 @@ inline bool ArcPolicy::AccessOne(const Request& r) {
   return false;
 }
 
+// clic-lint: hot-path
 bool ArcPolicy::Access(const Request& r, SeqNum /*seq*/) {
   return AccessOne(r);
 }
 
+// clic-lint: hot-path
 void ArcPolicy::AccessBatch(const Request* reqs, SeqNum /*first_seq*/,
                             std::size_t n, std::uint8_t* hits_out) {
   const std::size_t main =

@@ -7,6 +7,7 @@ namespace clic {
 ClockPolicy::ClockPolicy(std::size_t cache_pages)
     : frames_(std::max<std::size_t>(1, cache_pages)) {}
 
+// clic-lint: hot-path
 inline bool ClockPolicy::AccessOne(const Request& r) {
   const std::uint32_t slot = table_.Get(r.page);
   if (slot != kInvalidIndex) {
@@ -32,10 +33,12 @@ inline bool ClockPolicy::AccessOne(const Request& r) {
   return false;
 }
 
+// clic-lint: hot-path
 bool ClockPolicy::Access(const Request& r, SeqNum /*seq*/) {
   return AccessOne(r);
 }
 
+// clic-lint: hot-path
 void ClockPolicy::AccessBatch(const Request* reqs, SeqNum /*first_seq*/,
                               std::size_t n, std::uint8_t* hits_out) {
   const std::size_t main =

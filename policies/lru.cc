@@ -7,6 +7,7 @@ namespace clic {
 LruPolicy::LruPolicy(std::size_t cache_pages)
     : arena_(std::max<std::size_t>(1, cache_pages)) {}
 
+// clic-lint: hot-path
 inline bool LruPolicy::AccessOne(const Request& r) {
   const std::uint32_t slot = table_.Get(r.page);
   if (slot != kInvalidIndex) {
@@ -24,10 +25,12 @@ inline bool LruPolicy::AccessOne(const Request& r) {
   return false;
 }
 
+// clic-lint: hot-path
 bool LruPolicy::Access(const Request& r, SeqNum /*seq*/) {
   return AccessOne(r);
 }
 
+// clic-lint: hot-path
 void LruPolicy::AccessBatch(const Request* reqs, SeqNum /*first_seq*/,
                             std::size_t n, std::uint8_t* hits_out) {
   // Software-pipelined lookahead (see kBatchPrefetchDistance): the main

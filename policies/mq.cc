@@ -52,6 +52,7 @@ void MqPolicy::EvictOne() {
   }
 }
 
+// clic-lint: hot-path
 inline bool MqPolicy::AccessOne(const Request& r, SeqNum seq) {
   Adjust(seq);
   const std::uint32_t slot = table_.Get(r.page);
@@ -91,10 +92,12 @@ inline bool MqPolicy::AccessOne(const Request& r, SeqNum seq) {
   return false;
 }
 
+// clic-lint: hot-path
 bool MqPolicy::Access(const Request& r, SeqNum seq) {
   return AccessOne(r, seq);
 }
 
+// clic-lint: hot-path
 void MqPolicy::AccessBatch(const Request* reqs, SeqNum first_seq,
                            std::size_t n, std::uint8_t* hits_out) {
   const std::size_t main =

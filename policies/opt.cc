@@ -26,11 +26,12 @@ OptPolicy::OptPolicy(std::size_t cache_pages, const Trace& trace)
   heap_.reserve(1 << 16);
 }
 
+// clic-lint: hot-path
 inline bool OptPolicy::AccessOne(const Request& r, SeqNum seq) {
   const SeqNum nu = seq < next_use_.size() ? next_use_[seq] : kNever;
   if (resident_[r.page]) {
     cur_next_[r.page] = nu;
-    heap_.emplace_back(nu, r.page);
+    heap_.emplace_back(nu, r.page);  // clic-lint: allow(no-alloc-hot-path) reason=OPT is offline/clairvoyant and never serves online; lazy-deletion heap growth is its core algorithm
     std::push_heap(heap_.begin(), heap_.end());
     return true;
   }
@@ -50,16 +51,18 @@ inline bool OptPolicy::AccessOne(const Request& r, SeqNum seq) {
   }
   resident_[r.page] = 1;
   cur_next_[r.page] = nu;
-  heap_.emplace_back(nu, r.page);
+  heap_.emplace_back(nu, r.page);  // clic-lint: allow(no-alloc-hot-path) reason=OPT is offline/clairvoyant and never serves online; lazy-deletion heap growth is its core algorithm
   std::push_heap(heap_.begin(), heap_.end());
   ++count_;
   return false;
 }
 
+// clic-lint: hot-path
 bool OptPolicy::Access(const Request& r, SeqNum seq) {
   return AccessOne(r, seq);
 }
 
+// clic-lint: hot-path
 void OptPolicy::AccessBatch(const Request* reqs, SeqNum first_seq,
                             std::size_t n, std::uint8_t* hits_out) {
   // No PageTable here: the per-page state is the resident_ / cur_next_

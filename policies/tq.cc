@@ -27,6 +27,7 @@ void TqPolicy::TrimProtected() {
   }
 }
 
+// clic-lint: hot-path
 inline bool TqPolicy::AccessOne(const Request& r) {
   const bool replacement_write =
       r.op == OpType::kWrite && r.write_kind == WriteKind::kReplacement;
@@ -65,10 +66,12 @@ inline bool TqPolicy::AccessOne(const Request& r) {
   return false;
 }
 
+// clic-lint: hot-path
 bool TqPolicy::Access(const Request& r, SeqNum /*seq*/) {
   return AccessOne(r);
 }
 
+// clic-lint: hot-path
 void TqPolicy::AccessBatch(const Request* reqs, SeqNum /*first_seq*/,
                            std::size_t n, std::uint8_t* hits_out) {
   const std::size_t main =

@@ -30,6 +30,7 @@ void TwoQPolicy::ReclaimFrame() {
   }
 }
 
+// clic-lint: hot-path
 inline bool TwoQPolicy::AccessOne(const Request& r) {
   const std::uint32_t slot = table_.Get(r.page);
   if (slot != kInvalidIndex) {
@@ -57,10 +58,12 @@ inline bool TwoQPolicy::AccessOne(const Request& r) {
   return false;
 }
 
+// clic-lint: hot-path
 bool TwoQPolicy::Access(const Request& r, SeqNum /*seq*/) {
   return AccessOne(r);
 }
 
+// clic-lint: hot-path
 void TwoQPolicy::AccessBatch(const Request* reqs, SeqNum /*first_seq*/,
                              std::size_t n, std::uint8_t* hits_out) {
   const std::size_t main =

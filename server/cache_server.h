@@ -47,13 +47,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/spsc_ring.h"
+#include "common/thread_annotations.h"
 #include "core/clic.h"
 #include "server/fault_injection.h"
 #include "sim/policy_factory.h"
@@ -376,18 +376,25 @@ class CacheServer {
 
   /// Per-client ingress port: one SPSC ring per consumer (this client
   /// produces, that consumer pops), plain producer-side ledger fields
-  /// (single producer thread per client), atomic completion-side
-  /// counters (any consumer may finish a batch), and the mutex+CV
-  /// control path for admission waits and post-spin completion parking.
+  /// guarded by the `producer` role capability (single producer thread
+  /// per client — the clang thread-safety build enforces that every
+  /// touch declares the role), atomic completion-side counters (any
+  /// consumer may finish a batch), and the mutex+CV control path for
+  /// admission waits and post-spin completion parking.
   struct ClientPort {
+    /// The "I am this client's one producer thread" role. Acquired by
+    /// Submit/SubmitAsync, asserted by the quiescent stats snapshot.
+    ThreadRole producer;
     // --- producer-side (plain: one producer thread per client) ---
-    AdmissionStats adm;  // submitted/enqueued/shed/timed_out/stopped@admission
-    std::uint64_t submit_counter = 0;  // 1-based index for fault hooks
-    Batch sync_batch;                  // reusable closed-loop batch
-    std::vector<Request> staging;      // mutation buffer (corrupt/guard)
-    std::vector<std::uint32_t> shard_ids;   // ShardOf, once per request
-    std::vector<std::uint32_t> run_offset;  // routing scratch, one/shard
-    std::vector<std::size_t> targets;       // owning consumers of a batch
+    AdmissionStats adm CLIC_GUARDED_BY(producer);
+    std::uint64_t submit_counter CLIC_GUARDED_BY(producer) = 0;  // 1-based
+    Batch sync_batch;  // reusable closed-loop batch (role-guarded use,
+                       // but consumers read it through the ring, so the
+                       // pointer-shaped contract lives in Batch's docs)
+    std::vector<Request> staging CLIC_GUARDED_BY(producer);
+    std::vector<std::uint32_t> shard_ids CLIC_GUARDED_BY(producer);
+    std::vector<std::uint32_t> run_offset CLIC_GUARDED_BY(producer);
+    std::vector<std::size_t> targets CLIC_GUARDED_BY(producer);
     // --- shared ---
     std::vector<std::unique_ptr<SpscRing<Batch*>>> rings;  // one/consumer
     std::atomic<std::uint64_t> queued{0};  // admitted, not yet fully popped
@@ -401,42 +408,58 @@ class CacheServer {
     std::atomic<std::uint64_t> expired_batches{0}, expired_requests{0};
     std::atomic<std::uint64_t> stopped_batches{0}, stopped_requests{0};
     // --- control path (slow: admission waits, post-spin parking) ---
-    std::mutex mu;
+    // clic-lint: begin-allow(no-mutex-data-path) reason=CV parking for full-queue admission waits and post-spin completion parking; never touched by a non-full, non-idle drain
+    Mutex mu;
     std::condition_variable space_cv;  // producer waits: space/cap/stop
     std::condition_variable done_cv;   // producer waits: batch done
+    // clic-lint: end-allow(no-mutex-data-path)
     std::atomic<bool> space_waiter{false};
   };
 
   /// One owning consumer: its shard set, per-core apply scratch and
-  /// stats, and the nap control path (flag + CV) producers use to wake
-  /// it without a steady-state mutex.
+  /// stats (guarded by the `self` role — only the consumer thread
+  /// itself, or the post-join snapshot, may touch them), and the nap
+  /// control path (flag + CV) producers use to wake it without a
+  /// steady-state mutex.
   struct Consumer {
-    std::vector<std::size_t> owned;    // shard ids, ascending
-    std::vector<std::uint8_t> done_client;  // eos seen + ring drained
-    std::vector<std::uint8_t> hits;    // AccessBatch output buffer
-    std::uint64_t requests = 0;        // applied by this consumer
-    std::uint64_t batches_processed = 0;  // drives consumer-pause faults
-    std::mutex mu;
+    /// The "I am this consumer's drain thread" role. Acquired for the
+    /// lifetime of ConsumeOwned / ConsumeInClientOrder.
+    ThreadRole self;
+    std::vector<std::size_t> owned;    // shard ids, ascending; written
+                                       // once before threads start
+    std::vector<std::uint8_t> done_client CLIC_GUARDED_BY(self);
+    std::vector<std::uint8_t> hits CLIC_GUARDED_BY(self);
+    std::uint64_t requests CLIC_GUARDED_BY(self) = 0;
+    std::uint64_t batches_processed CLIC_GUARDED_BY(self) = 0;
+    // clic-lint: begin-allow(no-mutex-data-path) reason=idle-consumer nap CV; a busy consumer never touches it
+    Mutex mu;
     std::condition_variable cv;
+    // clic-lint: end-allow(no-mutex-data-path)
     std::atomic<bool> napping{false};
   };
 
   /// A cache shard: policy + stats, owned by exactly one consumer. No
   /// mutex: the Policy interface is not thread-safe (core/policy.h) and
-  /// the static ownership partition IS the serialization — only the
-  /// owning consumer ever touches policy/seq/stats, which the
-  /// NDEBUG-gated `entered` flag still asserts.
+  /// the static ownership partition IS the serialization. The
+  /// `ownership` role capability makes that partition a compile-time
+  /// contract — any function touching policy/seq/stats must declare
+  /// CLIC_REQUIRES(ownership) — and the NDEBUG-gated `entered` flag
+  /// still asserts it dynamically against topology bugs.
   struct Shard {
-    std::unique_ptr<Policy> policy;
-    SeqNum seq = 0;
-    std::vector<CacheStats> client_stats;  // indexed by Request::client
-    std::uint64_t requests = 0;
-    std::uint64_t drains = 0;  // AccessBatch calls (= applied runs)
-    std::uint64_t quarantined = 0;  // untrusted-hint remaps in this shard
-    std::vector<double> drain_us;   // per-drain latency samples (opt-in)
+    /// "I am the consumer that owns this shard (or the post-join
+    /// quiescent snapshot thread)". Acquired per drained run in
+    /// ApplySlice, asserted by the stats readers.
+    ThreadRole ownership;
+    std::unique_ptr<Policy> policy CLIC_GUARDED_BY(ownership);
+    SeqNum seq CLIC_GUARDED_BY(ownership) = 0;
+    std::vector<CacheStats> client_stats CLIC_GUARDED_BY(ownership);
+    std::uint64_t requests CLIC_GUARDED_BY(ownership) = 0;
+    std::uint64_t drains CLIC_GUARDED_BY(ownership) = 0;
+    std::uint64_t quarantined CLIC_GUARDED_BY(ownership) = 0;
+    std::vector<double> drain_us CLIC_GUARDED_BY(ownership);
     /// Nanoseconds-since-steady-epoch when the in-flight drain started,
     /// 0 when idle. Written by the owning consumer, read lock-free by
-    /// the admission watchdog.
+    /// the admission watchdog — deliberately NOT role-guarded.
     std::atomic<std::int64_t> busy_since_ns{0};
 #ifndef NDEBUG
     std::atomic<bool> entered{false};  // asserts single-owner discipline
@@ -452,37 +475,46 @@ class CacheServer {
   /// pushed. All admission-side accounting happens here on the plain
   /// producer fields.
   SubmitResult Admit(ClientPort& port, Batch* batch, const Request* requests,
-                     std::size_t n);
+                     std::size_t n)
+      CLIC_REQUIRES(port.producer) CLIC_EXCLUDES(port.mu);
   /// Builds batch->reqs/runs from `requests`, including the corruption
   /// and quarantine passes (both submit-time now; corruption stays
   /// bit-identical because it draws from the same (seed, client,
   /// submit_index) RNG over the original batch order).
   void RouteBatch(ClientPort& port, Batch* batch, const Request* requests,
-                  std::size_t n);
+                  std::size_t n) CLIC_REQUIRES(port.producer);
   /// True when one of the batch's shard runs targets a shard whose
   /// in-flight drain exceeds the watchdog threshold. O(runs), using the
   /// shard ids computed at routing — no page rescan.
   bool TouchesStalledShard(const Batch& batch, std::int64_t now_ns) const;
   /// Closed-loop completion wait: spin on `done`, then park on the
   /// port's done_cv with the waiting flag handshake.
-  SubmitResult WaitDone(ClientPort& port, Batch& batch);
+  SubmitResult WaitDone(ClientPort& port, Batch& batch)
+      CLIC_EXCLUDES(port.mu);
   /// Pop-side bookkeeping shared by consumers and the Stop() drain:
   /// decrements unpopped/queued and wakes a space-waiting producer.
-  void NoteSlicePopped(ClientPort& port, Batch* batch);
-  /// Applies consumer `k`'s owned runs of `batch` to their shards.
-  void ApplySlice(std::size_t k, Batch& batch);
+  void NoteSlicePopped(ClientPort& port, Batch* batch)
+      CLIC_EXCLUDES(port.mu);
+  /// Applies consumer `me`'s owned runs of `batch` to their shards,
+  /// acquiring each shard's ownership capability for the run.
+  void ApplySlice(std::size_t k, Consumer& me, Batch& batch)
+      CLIC_REQUIRES(me.self);
   /// Finishes one slice: last finisher resolves the batch outcome
   /// (stopped > expired > applied), updates the completion ledger,
   /// publishes done, wakes a parked producer, frees async batches.
-  void FinishSlice(ClientPort& port, Batch* batch, std::uint8_t bits);
+  void FinishSlice(ClientPort& port, Batch* batch, std::uint8_t bits)
+      CLIC_EXCLUDES(port.mu);
   /// Pops and fully processes one batch slice from client `c`'s ring of
-  /// consumer `k`. Returns false when the ring was empty.
-  bool PopAndProcess(std::size_t k, std::size_t c);
+  /// consumer `k` (== `me`). Returns false when the ring was empty.
+  bool PopAndProcess(std::size_t k, Consumer& me, std::size_t c)
+      CLIC_REQUIRES(me.self);
   void ConsumeOwned(std::size_t k);
   void ConsumeInClientOrder();
-  void NapConsumer(std::size_t k);
+  void NapConsumer(std::size_t k, Consumer& me)
+      CLIC_REQUIRES(me.self) CLIC_EXCLUDES(me.mu);
   void WakeConsumer(std::size_t k);
-  void StallIfPlanned(Shard& shard, std::size_t shard_index);
+  void StallIfPlanned(Shard& shard, std::size_t shard_index)
+      CLIC_REQUIRES(shard.ownership);
   void PauseIfPlanned(std::size_t consumer_index, std::uint64_t processed);
   AdmissionStats SnapshotAdmission(const ClientPort& port) const;
 

@@ -6,12 +6,21 @@
 #include <chrono>
 #include <cstdio>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
+#include "common/thread_annotations.h"
+
 namespace clic::sweep {
 namespace {
+
+/// First exception a pool worker threw, with its annotated guard so the
+/// clang thread-safety build checks the error handoff like any other
+/// shared state.
+struct ErrorSlot {
+  Mutex mu;
+  std::exception_ptr first CLIC_GUARDED_BY(mu);
+};
 
 /// Runs fn(0..n-1) across `threads` workers pulling indices from a
 /// shared atomic counter. fn must be safe to call concurrently for
@@ -22,16 +31,15 @@ void RunOnPool(unsigned threads, std::size_t n,
                const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  ErrorSlot error;
   auto drain = [&] {
     for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
          i = next.fetch_add(1, std::memory_order_relaxed)) {
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        MutexLock lock(error.mu);
+        if (!error.first) error.first = std::current_exception();
         next.store(n, std::memory_order_relaxed);  // stop handing out work
         return;
       }
@@ -56,7 +64,10 @@ void RunOnPool(unsigned threads, std::size_t n,
     }
     for (std::thread& t : pool) t.join();
   }
-  if (first_error) std::rethrow_exception(first_error);
+  // Workers are joined (or drain() ran inline), so the lock is
+  // uncontended — held anyway to keep the guarded access checkable.
+  MutexLock lock(error.mu);
+  if (error.first) std::rethrow_exception(error.first);
 }
 
 void AppendU64(std::string* out, std::uint64_t value) {

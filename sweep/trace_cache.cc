@@ -75,7 +75,7 @@ TraceCache& TraceCache::Global() {
 const Trace& TraceCache::Get(const std::string& name) {
   Entry* entry = nullptr;
   {
-    std::lock_guard<std::mutex> lock(map_mutex_);
+    MutexLock lock(map_mutex_);
     entry = &entries_[name];
   }
   std::call_once(entry->once, [&] { Fill(name, *entry); });

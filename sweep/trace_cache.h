@@ -16,6 +16,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "core/trace.h"
 
 namespace clic::sweep {
@@ -74,10 +75,11 @@ class TraceCache {
   std::string dir_;
   std::uint64_t request_cap_;
   std::once_flag cleanup_once_;  // stale-temp-file sweep, once per cache
-  std::mutex map_mutex_;  // guards the map structure only, never held
-                          // across generation
-  std::map<std::string, Entry> entries_;  // node-based: entry addresses
-                                          // are stable, never erased
+  Mutex map_mutex_;  // guards the map structure only, never held
+                     // across generation
+  std::map<std::string, Entry> entries_ CLIC_GUARDED_BY(map_mutex_);
+  // entries_ is node-based: entry addresses are stable, never erased,
+  // so a reference obtained under the lock stays valid after release.
 };
 
 }  // namespace clic::sweep

@@ -18,6 +18,9 @@ failures=0
 expect_reject() {
   desc="$1"; token="$2"; valid="$3"; shift 3
   [ "$1" = "--" ] && shift
+  # The redirect order is deliberate: capture stderr (the contract
+  # under test), discard stdout.
+  # shellcheck disable=SC2069
   err=$("$@" 2>&1 >/dev/null)
   status=$?
   if [ "$status" -eq 0 ]; then

@@ -1,0 +1,100 @@
+#!/bin/sh
+# Lint-of-the-lint regression test, run by CTest:
+#   clic_lint_test.sh <repo_root>
+#
+# Contract under test: tools/clic_lint.py must never go silently green.
+# Every rule's failing fixture must exit 1 naming that rule, every
+# passing counterpart must exit 0, malformed pragmas must be usage
+# errors (exit 2), and the repo itself must lint clean.
+set -u
+
+ROOT="$1"
+LINT="$ROOT/tools/clic_lint.py"
+FIXTURES="$ROOT/tests/lint_fixtures"
+failures=0
+
+# expect_rule <fixture-basename> <rule-that-must-appear>
+expect_rule() {
+  fixture="$1"; rule="$2"
+  out=$(python3 "$LINT" --root "$ROOT" "$FIXTURES/$fixture" 2>&1)
+  status=$?
+  if [ "$status" -ne 1 ]; then
+    echo "FAIL: $fixture: expected exit 1 (violations), got $status" >&2
+    echo "$out" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  case "$out" in
+    *"[$rule]"*) echo "ok: $fixture fires $rule" ;;
+    *) echo "FAIL: $fixture: output does not name rule '$rule':" >&2
+       echo "$out" >&2
+       failures=$((failures + 1)) ;;
+  esac
+}
+
+# expect_clean <fixture-basename>
+expect_clean() {
+  fixture="$1"
+  out=$(python3 "$LINT" --root "$ROOT" "$FIXTURES/$fixture" 2>&1)
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "FAIL: $fixture: expected exit 0 (clean), got $status" >&2
+    echo "$out" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  echo "ok: $fixture is clean"
+}
+
+# expect_usage_error <description> <snippet-file-content>
+expect_usage_error() {
+  desc="$1"; content="$2"
+  tmp=$(mktemp "${TMPDIR:-/tmp}/clic_lint_test.XXXXXX.cc")
+  printf '%s\n' "$content" > "$tmp"
+  out=$(python3 "$LINT" --root "$ROOT" "$tmp" 2>&1)
+  status=$?
+  rm -f "$tmp"
+  if [ "$status" -ne 2 ]; then
+    echo "FAIL: $desc: expected exit 2 (usage error), got $status" >&2
+    echo "$out" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  echo "ok: $desc"
+}
+
+expect_rule fail_no_mutex_data_path.cc no-mutex-data-path
+expect_rule fail_no_mutex_in_ring.cc no-mutex-data-path
+expect_rule fail_no_wallclock_deterministic.cc no-wallclock-deterministic
+expect_rule fail_no_bare_atomic_order.cc no-bare-atomic-order
+expect_rule fail_no_alloc_hot_path.cc no-alloc-hot-path
+
+expect_clean pass_no_mutex_data_path.cc
+expect_clean pass_no_wallclock_deterministic.cc
+expect_clean pass_no_bare_atomic_order.cc
+expect_clean pass_no_alloc_hot_path.cc
+
+expect_usage_error "unknown rule name in pragma" \
+  "// clic-lint: allow(no-such-rule) reason=x"
+expect_usage_error "allow without a reason" \
+  "// clic-lint-fixture: server/example.cc
+// clic-lint: begin-allow(no-mutex-data-path)
+// clic-lint: end-allow(no-mutex-data-path)"
+expect_usage_error "unclosed begin-allow region" \
+  "// clic-lint-fixture: server/example.cc
+// clic-lint: begin-allow(no-mutex-data-path) reason=never closed"
+
+# The repo itself must be clean — this is the same gate CI runs.
+if ! python3 "$LINT" --root "$ROOT" > /dev/null 2>&1; then
+  echo "FAIL: tools/clic_lint.py reports violations in the repo itself" >&2
+  python3 "$LINT" --root "$ROOT" >&2
+  failures=$((failures + 1))
+else
+  echo "ok: repo lints clean"
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures clic_lint check(s) failed" >&2
+  exit 1
+fi
+echo "all clic_lint checks passed"

@@ -1,0 +1,10 @@
+// clic-lint-fixture: policies/example.cc
+// Minimal failing snippet for no-alloc-hot-path: container growth
+// inside a function marked hot-path.
+#include <vector>
+
+// clic-lint: hot-path
+bool Access(std::vector<int>& history, int page) {
+  history.push_back(page);
+  return new int(page) != nullptr;
+}

@@ -1,0 +1,10 @@
+// clic-lint-fixture: server/example.cc
+// Minimal failing snippet for no-bare-atomic-order: atomic operations
+// relying on the implicit seq_cst default.
+#include <atomic>
+
+int BareOrders(std::atomic<int>& a) {
+  a.store(1);
+  a.fetch_add(2);
+  return a.load();
+}

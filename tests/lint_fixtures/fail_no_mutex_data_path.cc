@@ -1,0 +1,9 @@
+// clic-lint-fixture: server/example.cc
+// Minimal failing snippet for no-mutex-data-path: a bare std::mutex in
+// server/ code with no control-path allow region.
+#include <mutex>
+
+void DrainPath() {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+}

@@ -1,0 +1,9 @@
+// clic-lint-fixture: common/spsc_ring.h
+// The ring is a hard-forbid scope: even an allow region must NOT
+// suppress a mutex there — the data path stays lock-free
+// unconditionally, so this fixture must still fail.
+#include <mutex>
+
+// clic-lint: begin-allow(no-mutex-data-path) reason=this suppression must be ignored in the ring
+static std::mutex mu;
+// clic-lint: end-allow(no-mutex-data-path)

@@ -1,0 +1,11 @@
+// clic-lint-fixture: core/example.cc
+// Minimal failing snippet for no-wallclock-deterministic: replay code
+// reading the wall clock and ambient randomness.
+#include <chrono>
+#include <cstdlib>
+
+long Now() {
+  std::srand(42);
+  return std::chrono::steady_clock::now().time_since_epoch().count() +
+         std::rand();
+}

@@ -1,0 +1,19 @@
+// clic-lint-fixture: policies/example.cc
+// Passing counterpart: the hot-path function only moves pre-allocated
+// state; the allocation happens in the unmarked setup function, and a
+// reasoned same-line allow covers a deliberate exception.
+#include <vector>
+
+std::vector<int> MakeArena(std::size_t n) {
+  std::vector<int> arena;
+  arena.reserve(n);  // unmarked function: growth is fine here
+  arena.resize(n, 0);
+  return arena;
+}
+
+// clic-lint: hot-path
+bool Access(std::vector<int>& arena, std::vector<int>& log, int page) {
+  arena[static_cast<std::size_t>(page) % arena.size()] = page;
+  log.push_back(page);  // clic-lint: allow(no-alloc-hot-path) reason=fixture exception with a written reason
+  return true;
+}

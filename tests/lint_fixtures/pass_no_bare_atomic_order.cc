@@ -1,0 +1,14 @@
+// clic-lint-fixture: server/example.cc
+// Passing counterpart: every atomic op names its ordering, including a
+// call whose argument list spans lines.
+#include <atomic>
+
+int ExplicitOrders(std::atomic<int>& a) {
+  a.store(1, std::memory_order_release);
+  a.fetch_add(2, std::memory_order_relaxed);
+  int expected = 3;
+  a.compare_exchange_strong(expected, 4,
+                            std::memory_order_acq_rel,
+                            std::memory_order_acquire);
+  return a.load(std::memory_order_acquire);
+}

@@ -1,0 +1,11 @@
+// clic-lint-fixture: server/example.cc
+// Passing counterpart: the same mutex use inside an annotated
+// control-path region (and the include line, which is always exempt).
+#include <mutex>
+
+void ControlPath() {
+  // clic-lint: begin-allow(no-mutex-data-path) reason=fixture control path; not reachable from a drain
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  // clic-lint: end-allow(no-mutex-data-path)
+}

@@ -1,0 +1,20 @@
+// clic-lint-fixture: core/example.cc
+// Passing counterpart: deterministic code is a pure function of the
+// trace and a seeded RNG; names that merely contain clock-ish
+// substrings (time_point, rand_state, wall_seconds) must not trip the
+// tokenizer.
+#include <cstdint>
+
+struct SeededRng {
+  std::uint64_t state;
+  std::uint64_t Next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state;
+  }
+};
+
+double WallSecondsColumn(double wall_seconds) {
+  // "steady_clock" in a comment or string is fine: the rule scans code.
+  const char* label = "steady_clock";
+  return label != nullptr ? wall_seconds : 0.0;
+}

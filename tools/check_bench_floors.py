@@ -45,7 +45,8 @@ def main(argv):
     }
     best = {policy: None for policy in floors}
     try:
-        lines = open(path).read().splitlines()
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
     except OSError as e:
         print(f"check_bench_floors: cannot read {path}: {e}", file=sys.stderr)
         return 2

@@ -25,6 +25,9 @@ import re
 import sys
 
 SOURCE_EXTS = (".h", ".cc", ".md", ".py", ".sh", ".yml")
+# Extensionless dotfiles the docs are allowed to reference by name; they
+# fall outside SOURCE_EXTS so each one is opted in explicitly.
+DOTFILE_REFS = {".clang-tidy"}
 SKIP_DIRS = {".git", "build", "build-asan", "clic_trace_cache", ".claude"}
 # `./name` tokens that are runtime artifacts (created by running the
 # binaries), not build targets.
@@ -55,7 +58,8 @@ def known_targets(files):
 def check_doc(doc, root, files, basenames, targets):
     problems = []
     try:
-        text = open(os.path.join(root, doc)).read()
+        with open(os.path.join(root, doc), encoding="utf-8") as f:
+            text = f.read()
     except OSError as e:
         return [f"{doc}: cannot read: {e}"]
     doc_dir = os.path.dirname(doc)
@@ -117,6 +121,10 @@ def check_doc(doc, root, files, basenames, targets):
         expanded = [pair.group(1) + ".h", pair.group(1) + ".cc"] if pair \
             else [token]
         for item in expanded:
+            if item in DOTFILE_REFS:
+                if item not in files:
+                    problems.append(f"{doc}: missing source path '{item}'")
+                continue
             if not (item.endswith(SOURCE_EXTS) and
                     re.fullmatch(r"[A-Za-z0-9_./-]+", item)):
                 continue
