@@ -118,6 +118,22 @@ inline std::uint64_t ParseU64(const char* prog, const std::string& flag,
   return parsed;
 }
 
+/// ParseU64 for flags where zero is a meaningful value (e.g. --port=0
+/// binds an ephemeral port); still rejects signs, wrap-around and
+/// trailing garbage.
+inline std::uint64_t ParseU64AllowZero(const char* prog,
+                                       const std::string& flag,
+                                       const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || value[0] == '-' || value[0] == '+' || errno != 0 ||
+      end == value.c_str() || *end != '\0') {
+    Die(prog, flag + "='" + value + "' is not a non-negative integer");
+  }
+  return parsed;
+}
+
 inline double ParseDouble(const char* prog, const std::string& flag,
                           const std::string& value) {
   errno = 0;

@@ -13,14 +13,19 @@
 // any divergence.
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "common/cli_util.h"
 #include "server/cache_server.h"
+#include "server/net/net_server.h"
+#include "server/net/wire_client.h"
 #include "sweep/sweep.h"
 #include "sweep/trace_cache.h"
 #include "workload/scenario.h"
@@ -45,6 +50,15 @@ struct CliOptions {
   /// up in Main after the copy settles).
   fault::FaultPlan fault_plan;
   bool has_fault_plan = false;
+
+  // ---- network front end (server/net/) ----
+  bool listen = false;   // standalone wire server until SIGTERM/SIGINT
+  bool connect = false;  // loopback: in-process wire server + wire drivers
+  std::string listen_addr = "127.0.0.1";
+  std::uint16_t port = 0;       // 0 = ephemeral
+  unsigned io_threads = 1;
+  std::size_t conn_limit = 0;   // 0 = auto (clients / 64)
+  double read_timeout_ms = 0.0;
 };
 
 void Usage(std::FILE* out) {
@@ -104,6 +118,25 @@ void Usage(std::FILE* out) {
       "                     shed:every=7;seed=42' (grammar in\n"
       "                     server/fault_injection.h)\n"
       "\n"
+      "Network front end (server/net/ wire protocol over epoll):\n"
+      "  --listen[=ADDR]    serve the wire protocol on ADDR (default\n"
+      "                     127.0.0.1) until SIGTERM/SIGINT, then drain\n"
+      "                     gracefully (in-flight frames -> `stopped`)\n"
+      "  --connect          loopback mode: start an in-process wire server\n"
+      "                     on an ephemeral port and replay the workload\n"
+      "                     through real sockets; with --deterministic\n"
+      "                     --verify this is the wire-level correctness\n"
+      "                     gate\n"
+      "  --port=N           TCP port for --listen (0..65535; 0 = "
+      "ephemeral)\n"
+      "  --io-threads=N     connection threads (must be 1 with\n"
+      "                     --deterministic)\n"
+      "  --conn-limit=N     connection table bound == server client ports\n"
+      "                     (default: clients for --connect, 64 for\n"
+      "                     --listen); a full table sheds at accept time\n"
+      "  --read-timeout-ms=F  evict a connection whose partial frame is\n"
+      "                     older than this (slowloris guard)\n"
+      "\n"
       "CLIC options (when --policy=CLIC):\n"
       "  --window=W --decay=R --outqueue=N --no-charge-metadata\n"
       "  --tracker=exact|space_saving|lossy_counting --top-k=K\n"
@@ -136,6 +169,7 @@ void PrintList() {
 
 CliOptions Parse(int argc, char** argv) {
   CliOptions opts;
+  bool net_tuning = false;  // any of --port/--io-threads/--conn-limit/...
   opts.server.shards = 4;
   opts.server.cache_pages = 12'000;
   opts.load.clients = 4;
@@ -152,6 +186,14 @@ CliOptions Parse(int argc, char** argv) {
     }
     if (arg == "--deterministic") {
       opts.server.deterministic = true;
+      continue;
+    }
+    if (arg == "--listen") {
+      opts.listen = true;
+      continue;
+    }
+    if (arg == "--connect") {
+      opts.connect = true;
       continue;
     }
     if (arg == "--verify") {
@@ -242,6 +284,31 @@ CliOptions Parse(int argc, char** argv) {
         Die(error);
       }
       opts.has_fault_plan = true;
+    } else if (key == "--listen") {
+      opts.listen = true;
+      opts.listen_addr = value;
+    } else if (key == "--port") {
+      const std::uint64_t port = cli::ParseU64AllowZero(kProg, key, value);
+      if (port > 65535) {
+        Die("--port='" + value +
+            "' is out of range (TCP ports are 0..65535; 0 binds an "
+            "ephemeral port)");
+      }
+      opts.port = static_cast<std::uint16_t>(port);
+      net_tuning = true;
+    } else if (key == "--io-threads") {
+      const std::uint64_t io = cli::ParseU64(kProg, key, value);
+      if (io > 1024) Die(key + "='" + value + "' is unreasonably large");
+      opts.io_threads = static_cast<unsigned>(io);
+      net_tuning = true;
+    } else if (key == "--conn-limit") {
+      const std::uint64_t limit = cli::ParseU64(kProg, key, value);
+      if (limit > 65536) Die(key + "='" + value + "' is unreasonably large");
+      opts.conn_limit = static_cast<std::size_t>(limit);
+      net_tuning = true;
+    } else if (key == "--read-timeout-ms") {
+      opts.read_timeout_ms = cli::ParseDouble(kProg, key, value);
+      net_tuning = true;
     } else if (key == "--duration") {
       opts.load.duration_seconds = cli::ParseDouble(kProg, key, value);
     } else if (key == "--cache-dir") {
@@ -304,6 +371,39 @@ CliOptions Parse(int argc, char** argv) {
     Die("--admission=deadline requires --submit-timeout-ms > 0 (got " +
         std::to_string(opts.server.submit_timeout_ms) + ")");
   }
+  if (opts.listen && opts.connect) {
+    Die("--listen and --connect are mutually exclusive: serve remote "
+        "clients OR drive a loopback server (valid combinations: "
+        "--listen [--port=N], --connect [--deterministic --verify])");
+  }
+  if (net_tuning && !opts.listen && !opts.connect) {
+    Die("--port/--io-threads/--conn-limit/--read-timeout-ms configure the "
+        "network front end; add --listen (standalone server) or "
+        "--connect (loopback wire serving)");
+  }
+  if (opts.listen && opts.verify) {
+    Die("--verify needs the loopback wire client: --listen serves remote "
+        "clients whose stream the in-process verifier cannot replay "
+        "(valid combinations: --connect --deterministic --verify for the "
+        "wire-level gate, --deterministic --verify for in-process, or "
+        "--listen without --verify)");
+  }
+  if (opts.connect && opts.server.deterministic && opts.io_threads > 1) {
+    Die("--deterministic wire serving runs exactly one io thread (slots "
+        "are assigned in strict accept order); drop --io-threads=" +
+        std::to_string(opts.io_threads));
+  }
+  if (opts.connect && opts.load.duration_seconds > 0.0) {
+    Die("--connect replays one pass over the wire; --duration is not "
+        "supported in loopback mode");
+  }
+  if (opts.connect && opts.conn_limit > 0 &&
+      opts.conn_limit < opts.load.clients) {
+    Die("--conn-limit=" + std::to_string(opts.conn_limit) +
+        " is below --clients=" + std::to_string(opts.load.clients) +
+        " (every wire driver holds one connection; the table would shed "
+        "drivers at accept time)");
+  }
   if (opts.verify) {
     // --verify proves bit-identity against a sequential baseline; these
     // mechanisms are timing-dependent (watchdog, deadlines) or mutate
@@ -312,6 +412,12 @@ CliOptions Parse(int argc, char** argv) {
       Die("--verify cannot be combined with a corrupt: fault clause "
           "(corruption mutates served requests, so no fault-free baseline "
           "matches)");
+    }
+    if (opts.has_fault_plan && opts.fault_plan.net_reset_every > 0) {
+      Die("--verify cannot be combined with a net:reset fault clause (a "
+          "reset truncates that connection's served stream, so no "
+          "baseline matches; torn-write/partial-read/accept-stall only "
+          "re-chunk or delay bytes and remain verifiable)");
     }
     if (opts.server.watchdog_ms > 0.0) {
       Die("--verify cannot be combined with --watchdog-ms (watchdog sheds "
@@ -600,6 +706,190 @@ int Verify(const ServeResult& served, const SimResult& expected) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+void PrintNetStats(const net::NetStats& n) {
+  std::fprintf(
+      stderr,
+      "clic_serve: wire: %llu conns accepted (%llu shed), %llu frames / "
+      "%llu requests, %llu rejected frames (%llu requests), evicted "
+      "%llu slow readers + %llu slow writers, %llu frames drained to "
+      "stopped\n",
+      static_cast<unsigned long long>(n.accepted),
+      static_cast<unsigned long long>(n.accept_shed),
+      static_cast<unsigned long long>(n.frames),
+      static_cast<unsigned long long>(n.frame_requests),
+      static_cast<unsigned long long>(n.rejected_frames),
+      static_cast<unsigned long long>(n.rejected_requests),
+      static_cast<unsigned long long>(n.evicted_read),
+      static_cast<unsigned long long>(n.evicted_write),
+      static_cast<unsigned long long>(n.drained_frames));
+  if (n.torn_writes + n.partial_reads + n.resets_injected + n.accept_stalls >
+      0) {
+    std::fprintf(
+        stderr,
+        "clic_serve: wire faults fired: %llu torn writes, %llu partial "
+        "reads, %llu resets, %llu accept stalls\n",
+        static_cast<unsigned long long>(n.torn_writes),
+        static_cast<unsigned long long>(n.partial_reads),
+        static_cast<unsigned long long>(n.resets_injected),
+        static_cast<unsigned long long>(n.accept_stalls));
+  }
+}
+
+/// Standalone wire server (--listen): serve until SIGTERM/SIGINT, then
+/// drain gracefully and report the wire + admission ledgers.
+int RunListen(const CliOptions& opts) {
+  net::NetServerOptions nopts;
+  nopts.listen_addr = opts.listen_addr;
+  nopts.port = opts.port;
+  nopts.io_threads = opts.io_threads;
+  nopts.conn_limit = opts.conn_limit > 0 ? opts.conn_limit : 64;
+  nopts.read_timeout_ms = opts.read_timeout_ms;
+  nopts.server = opts.server;
+  std::unique_ptr<net::NetServer> server;
+  try {
+    server = std::make_unique<net::NetServer>(nopts);
+  } catch (const std::exception& e) {
+    Die(e.what());
+  }
+  std::fprintf(stderr,
+               "clic_serve: listening on %s:%u (%u io thread%s, conn limit "
+               "%zu); SIGTERM/SIGINT drains\n",
+               nopts.listen_addr.c_str(), server->port(), nopts.io_threads,
+               nopts.io_threads == 1 ? "" : "s", nopts.conn_limit);
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "clic_serve: draining\n");
+  server->Drain();
+  PrintNetStats(server->Stats());
+  const AdmissionStats adm = server->cache().TotalAdmission();
+  if (adm.submitted_requests !=
+      adm.applied_requests + adm.shed_requests + adm.timed_out_requests +
+          adm.expired_requests + adm.stopped_requests) {
+    std::fprintf(stderr, "clic_serve: ADMISSION LEDGER BROKEN after drain\n");
+    return 1;
+  }
+  std::fprintf(stderr,
+               "clic_serve: drained cleanly; %llu requests applied\n",
+               static_cast<unsigned long long>(adm.applied_requests));
+  return 0;
+}
+
+/// Loopback wire serving (--connect): in-process NetServer on an
+/// ephemeral port, ServeTrace-chunked wire drivers through real
+/// sockets. Fills *result with the server-side view (wire latencies for
+/// p50/p99); returns non-zero if the wire ledger does not balance.
+int RunWireServe(const CliOptions& opts, const Trace& trace,
+                 std::uint64_t cap, ServeResult* result) {
+  net::NetServerOptions nopts;
+  nopts.listen_addr = "127.0.0.1";
+  nopts.port = 0;
+  nopts.io_threads = opts.io_threads;
+  nopts.conn_limit = opts.conn_limit > 0
+                         ? opts.conn_limit
+                         : std::max<std::size_t>(opts.load.clients, 1);
+  nopts.read_timeout_ms = opts.read_timeout_ms;
+  nopts.max_batch = std::max<std::size_t>(4096, opts.load.batch_size);
+  nopts.server = opts.server;
+  std::unique_ptr<net::NetServer> server;
+  try {
+    server = std::make_unique<net::NetServer>(nopts);
+  } catch (const std::exception& e) {
+    Die(e.what());
+  }
+  std::fprintf(stderr,
+               "clic_serve: loopback wire serving on 127.0.0.1:%u (%u io "
+               "thread%s, conn limit %zu)\n",
+               server->port(), nopts.io_threads,
+               nopts.io_threads == 1 ? "" : "s", nopts.conn_limit);
+  net::WireLoadOptions wopts;
+  wopts.addr = "127.0.0.1";
+  wopts.port = server->port();
+  wopts.clients = opts.load.clients;
+  wopts.batch_size = opts.load.batch_size;
+  wopts.request_budget = cap;
+  wopts.deterministic = opts.server.deterministic;
+  net::WireLoadResult wire;
+  try {
+    wire = net::RunWireLoad(trace, wopts);
+  } catch (const std::exception& e) {
+    Die(e.what());
+  }
+  server->Drain();
+  PrintNetStats(server->Stats());
+
+  // Wire-side ledger: every batch the drivers sent must be accounted
+  // for by a status reply or an observed transport loss.
+  if (wire.submitted_requests !=
+          wire.applied_requests + wire.shed_requests +
+              wire.timed_out_requests + wire.expired_requests +
+              wire.stopped_requests + wire.conn_lost_requests ||
+      wire.submitted_batches !=
+          wire.applied_batches + wire.shed_batches + wire.timed_out_batches +
+              wire.expired_batches + wire.stopped_batches +
+              wire.conn_lost_batches) {
+    std::fprintf(
+        stderr,
+        "clic_serve: WIRE LEDGER BROKEN: submitted=%llu/%llu != "
+        "applied=%llu/%llu + shed=%llu/%llu + timed_out=%llu/%llu + "
+        "expired=%llu/%llu + stopped=%llu/%llu + conn_lost=%llu/%llu "
+        "(batches/requests)\n",
+        static_cast<unsigned long long>(wire.submitted_batches),
+        static_cast<unsigned long long>(wire.submitted_requests),
+        static_cast<unsigned long long>(wire.applied_batches),
+        static_cast<unsigned long long>(wire.applied_requests),
+        static_cast<unsigned long long>(wire.shed_batches),
+        static_cast<unsigned long long>(wire.shed_requests),
+        static_cast<unsigned long long>(wire.timed_out_batches),
+        static_cast<unsigned long long>(wire.timed_out_requests),
+        static_cast<unsigned long long>(wire.expired_batches),
+        static_cast<unsigned long long>(wire.expired_requests),
+        static_cast<unsigned long long>(wire.stopped_batches),
+        static_cast<unsigned long long>(wire.stopped_requests),
+        static_cast<unsigned long long>(wire.conn_lost_batches),
+        static_cast<unsigned long long>(wire.conn_lost_requests));
+    return 1;
+  }
+  if (wire.wire_errors > 0) {
+    std::fprintf(stderr,
+                 "clic_serve: wire drivers received %llu typed error "
+                 "frame%s\n",
+                 static_cast<unsigned long long>(wire.wire_errors),
+                 wire.wire_errors == 1 ? "" : "s");
+  }
+
+  const CacheServer& cache = server->cache();
+  result->total = cache.TotalStats();
+  result->per_client = cache.PerClientStats();
+  result->per_shard = cache.PerShardStats();
+  result->requests = cache.requests_applied();
+  result->batches = cache.batches_applied();
+  result->shard_drains = cache.shard_drains();
+  result->avg_drained_batch =
+      result->shard_drains > 0
+          ? static_cast<double>(result->requests) /
+                static_cast<double>(result->shard_drains)
+          : 0.0;
+  result->consumers = cache.consumers();
+  result->cores_detected = std::thread::hardware_concurrency();
+  result->per_consumer_requests = cache.PerConsumerRequests();
+  result->admission = cache.TotalAdmission();
+  result->quarantined = cache.quarantined();
+  result->watchdog_sheds = cache.watchdog_sheds();
+  // Wall clock and latency percentiles are the wire-level numbers: what
+  // a client sees through real sockets, not the in-process view.
+  result->wall_seconds = wire.wall_seconds;
+  result->throughput_rps = wire.throughput_rps;
+  result->p50_us = wire.p50_us;
+  result->p99_us = wire.p99_us;
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   CliOptions opts = Parse(argc, argv);
   if (opts.has_fault_plan) opts.server.fault = &opts.fault_plan;
@@ -625,6 +915,10 @@ int Main(int argc, char** argv) {
   opts.server.hint_bound =
       static_cast<std::uint32_t>(trace.hints ? trace.hints->size() : 0);
 
+  // Standalone wire server: the workload only parameterizes the cache
+  // (policy, shards, hint bound); remote clients supply the traffic.
+  if (opts.listen) return RunListen(opts);
+
   LoadOptions load = opts.load;
   load.request_budget = cap;
 
@@ -649,10 +943,14 @@ int Main(int argc, char** argv) {
                opts.server.deterministic ? "deterministic" : "concurrent");
 
   ServeResult result;
-  try {
-    result = ServeTrace(trace, opts.server, load);
-  } catch (const std::invalid_argument& e) {
-    Die(e.what());
+  if (opts.connect) {
+    if (RunWireServe(opts, trace, cap, &result) != 0) return 1;
+  } else {
+    try {
+      result = ServeTrace(trace, opts.server, load);
+    } catch (const std::invalid_argument& e) {
+      Die(e.what());
+    }
   }
 
   // The admission ledger must balance exactly on every run, fault plan

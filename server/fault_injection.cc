@@ -11,7 +11,8 @@ constexpr char kValidClauses[] =
     "valid clauses: seed=N, burst=N, "
     "stall:shard=N,after=N,drains=N,ms=F, "
     "pause:consumer=N,after=N,batches=N,ms=F, "
-    "shed:every=N, corrupt:every=N,flips=N";
+    "shed:every=N, corrupt:every=N,flips=N, "
+    "net:torn-write=N,partial-read=N,reset=N,accept-stall=N,stall-ms=F";
 
 bool Fail(std::string* error, const std::string& message) {
   *error = message + " (" + kValidClauses + ")";
@@ -191,6 +192,50 @@ bool ParseFaultPlan(const std::string& spec, FaultPlan* out,
         if (plan.corrupt_every == 0 || plan.corrupt_flips == 0) {
           return Fail(error, "fault plan clause '" + clause +
                                  "': corrupt needs every>=1 and flips>=1");
+        }
+      } else if (kind == "net") {
+        bool has_stall_ms = false;
+        for (const auto& [key, value] : pairs) {
+          if (key == "torn-write") {
+            if (!ParseCount(clause, key, value, &plan.net_torn_write_every,
+                            error)) {
+              return false;
+            }
+          } else if (key == "partial-read") {
+            if (!ParseCount(clause, key, value, &plan.net_partial_read_every,
+                            error)) {
+              return false;
+            }
+          } else if (key == "reset") {
+            if (!ParseCount(clause, key, value, &plan.net_reset_every,
+                            error)) {
+              return false;
+            }
+          } else if (key == "accept-stall") {
+            if (!ParseCount(clause, key, value, &plan.net_accept_stall_every,
+                            error)) {
+              return false;
+            }
+          } else if (key == "stall-ms") {
+            if (!ParseMs(clause, key, value, &plan.net_accept_stall_ms,
+                         error)) {
+              return false;
+            }
+            has_stall_ms = true;
+          } else {
+            return Fail(error, "fault plan clause '" + clause +
+                                   "': unknown net key '" + key + "'");
+          }
+        }
+        if (!plan.HasNetFaults()) {
+          return Fail(error,
+                      "fault plan clause '" + clause +
+                          "': net needs at least one of torn-write, "
+                          "partial-read, reset, accept-stall with N >= 1");
+        }
+        if (has_stall_ms && plan.net_accept_stall_every == 0) {
+          return Fail(error, "fault plan clause '" + clause +
+                                 "': stall-ms only tunes accept-stall");
         }
       } else {
         return Fail(error, "fault plan: unknown clause kind '" + kind + "'");

@@ -78,14 +78,44 @@ struct FaultPlan {
   std::uint64_t corrupt_every = 0;
   std::uint32_t corrupt_flips = 1;
 
+  // ---- network-edge faults (server/net/, PR 9). All triggered on
+  // logical counters — a connection's reply index, its read-event
+  // index, the acceptor's accept index — never on wall-clock time, so
+  // a chaos run replays deterministically. ----
+
+  /// > 0: the server tears every k-th reply write per connection into
+  /// two separate send() calls. TCP reassembles, so served decisions
+  /// are unchanged — what this exercises is the *client's* incremental
+  /// frame parser.
+  std::uint64_t net_torn_write_every = 0;
+  /// > 0: every k-th read event per connection drains at most one byte,
+  /// forcing the server's parser through its partial-frame path.
+  /// Decisions are unchanged; only reassembly is stressed.
+  std::uint64_t net_partial_read_every = 0;
+  /// > 0: every k-th accepted connection is reset (closed abruptly)
+  /// right after its first reply. Deterministic per accept index, but
+  /// it truncates that connection's served stream — incompatible with
+  /// --verify (see AltersServedRequests).
+  std::uint64_t net_reset_every = 0;
+  /// > 0: the acceptor sleeps net_accept_stall_ms before every k-th
+  /// accept (a seized accept queue; connection attempts back up).
+  std::uint64_t net_accept_stall_every = 0;
+  double net_accept_stall_ms = 1.0;
+
   bool HasStalls() const { return !stalls.empty(); }
   bool HasPauses() const { return !pauses.empty(); }
   bool HasCorruption() const { return corrupt_every > 0; }
+  bool HasNetFaults() const {
+    return net_torn_write_every > 0 || net_partial_read_every > 0 ||
+           net_reset_every > 0 || net_accept_stall_every > 0;
+  }
   /// True when the plan can alter which requests get served or what
   /// they look like — i.e. when served decisions are NOT comparable to
-  /// a fault-free run of the full trace. Stalls and pauses only delay.
+  /// a fault-free run of the full trace. Stalls, pauses, torn writes,
+  /// partial reads and accept stalls only delay or re-chunk bytes; a
+  /// reset truncates a connection's stream.
   bool AltersServedRequests() const {
-    return shed_every > 0 || corrupt_every > 0;
+    return shed_every > 0 || corrupt_every > 0 || net_reset_every > 0;
   }
 };
 
@@ -97,6 +127,13 @@ struct FaultPlan {
 ///            | 'pause:'   'consumer=' N ',after=' N ',batches=' N ',ms=' F
 ///            | 'shed:'    'every=' N
 ///            | 'corrupt:' 'every=' N [',flips=' N]
+///            | 'net:'     net-key=N (',' net-key=N)*
+///   net-key := 'torn-write' | 'partial-read' | 'reset'
+///            | 'accept-stall' | 'stall-ms'
+///
+/// A net: clause needs at least one of torn-write/partial-read/reset/
+/// accept-stall with a value >= 1 (stall-ms tunes the accept-stall
+/// sleep and requires accept-stall in the same plan).
 ///
 /// Keys within a clause may appear in any order; unlisted keys keep
 /// their defaults. Returns false and fills `*error` (naming the

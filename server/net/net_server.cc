@@ -1,0 +1,544 @@
+#include "server/net/net_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace clic::server::net {
+namespace {
+
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Counter-triggered sleep (accept stalls): wall-clock *duration*, but
+/// the trigger is the logical accept index — replaying the plan stalls
+/// the same accepts. Slices the nap so a concurrent Drain() never waits
+/// out a long stall.
+void SlicedSleep(double ms, const std::atomic<bool>& stop) {
+  const std::int64_t deadline =
+      NowNs() + static_cast<std::int64_t>(ms * 1e6);
+  while (NowNs() < deadline && !stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+std::uint16_t WireCodeFor(SubmitResult r) {
+  switch (r) {
+    case SubmitResult::kApplied: return kWireApplied;
+    case SubmitResult::kShed: return kWireShed;
+    case SubmitResult::kTimedOut: return kWireTimedOut;
+    case SubmitResult::kExpired: return kWireExpired;
+    case SubmitResult::kStopped: return kWireStopped;
+    case SubmitResult::kEnqueued: return kWireApplied;  // unreachable:
+        // the net path uses closed-loop Submit only
+  }
+  return kWireApplied;
+}
+
+}  // namespace
+
+NetServer::NetServer(const NetServerOptions& options) : options_(options) {
+  if (options_.io_threads == 0) {
+    throw std::invalid_argument("NetServer: need at least one io thread");
+  }
+  if (options_.conn_limit == 0) {
+    throw std::invalid_argument(
+        "NetServer: need a connection table (conn_limit >= 1)");
+  }
+  if (options_.server.deterministic && options_.io_threads != 1) {
+    throw std::invalid_argument(
+        "NetServer: deterministic mode runs exactly one io thread "
+        "(strict accept-order slot assignment)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.listen_addr.c_str(), &addr.sin_addr) != 1) {
+    throw std::invalid_argument("NetServer: unparseable listen address '" +
+                                options_.listen_addr +
+                                "' (want a dotted quad like 127.0.0.1)");
+  }
+
+  server_ = std::make_unique<CacheServer>(options_.server,
+                                          options_.conn_limit);
+  {
+    // clic-lint: begin-allow(no-mutex-data-path) reason=constructor-time slot-table setup, no traffic yet
+    MutexLock lock(slots_mu_);
+    // clic-lint: end-allow(no-mutex-data-path)
+    free_slots_.reserve(options_.conn_limit);
+    // Reverse order so pop_back hands out slot 0 first: deterministic
+    // mode assigns ports in accept order.
+    for (std::size_t s = options_.conn_limit; s > 0; --s) {
+      free_slots_.push_back(s - 1);
+    }
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("NetServer: socket: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 128) < 0) {
+    const std::string what = std::string("NetServer: cannot listen on ") +
+                             options_.listen_addr + ":" +
+                             std::to_string(options_.port) + ": " +
+                             std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(what);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  io_.reserve(options_.io_threads);
+  for (unsigned k = 0; k < options_.io_threads; ++k) {
+    auto t = std::make_unique<IoThread>();
+    t->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    t->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = nullptr;  // nullptr marks the wake eventfd
+    ::epoll_ctl(t->epfd, EPOLL_CTL_ADD, t->wake_fd, &ev);
+    io_.push_back(std::move(t));
+  }
+  for (unsigned k = 0; k < options_.io_threads; ++k) {
+    io_[k]->thread = std::thread([this, k] { IoLoop(k); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+}
+
+NetServer::~NetServer() {
+  Drain();
+  for (auto& t : io_) {
+    if (t->epfd >= 0) ::close(t->epfd);
+    if (t->wake_fd >= 0) ::close(t->wake_fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void NetServer::AcceptLoop() {
+  const fault::FaultPlan* plan = options_.server.fault;
+  const int aepfd = ::epoll_create1(EPOLL_CLOEXEC);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(aepfd, EPOLL_CTL_ADD, listen_fd_, &ev);
+  std::uint64_t accept_count = 0;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    epoll_event out{};
+    const int n = ::epoll_wait(aepfd, &out, 1, 50);
+    if (n <= 0) continue;
+    for (;;) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) break;  // EAGAIN, or a transient accept error
+      ++accept_count;
+      if (plan != nullptr && plan->net_accept_stall_every > 0 &&
+          accept_count % plan->net_accept_stall_every == 0) {
+        counters_.accept_stalls.fetch_add(1, std::memory_order_relaxed);
+        SlicedSleep(plan->net_accept_stall_ms, stopping_);
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      bool have_slot = false;
+      std::size_t slot = 0;
+      {
+        // clic-lint: begin-allow(no-mutex-data-path) reason=bounded connection table claim, once per accept
+        MutexLock lock(slots_mu_);
+        // clic-lint: end-allow(no-mutex-data-path)
+        if (!free_slots_.empty()) {
+          slot = free_slots_.back();
+          free_slots_.pop_back();
+          have_slot = true;
+        }
+      }
+      if (!have_slot) {
+        // Accept-time shedding: the table is bounded; tell the client
+        // why before closing instead of leaving it to guess.
+        counters_.accept_shed.fetch_add(1, std::memory_order_relaxed);
+        std::string busy;
+        AppendReplyFrame(FrameType::kError, kWireServerBusy, 0, &busy);
+        (void)!::write(fd, busy.data(), busy.size());
+        ::close(fd);
+        continue;
+      }
+      counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+      auto conn = std::make_unique<Connection>(options_.max_batch);
+      conn->fd = fd;
+      conn->slot = slot;
+      conn->accept_index = accept_count;
+      IoThread& t = *io_[(accept_count - 1) % io_.size()];
+      {
+        // clic-lint: begin-allow(no-mutex-data-path) reason=acceptor-to-io-thread handoff, once per accept
+        MutexLock lock(t.mu);
+        // clic-lint: end-allow(no-mutex-data-path)
+        t.inbox.push_back(std::move(conn));
+      }
+      const std::uint64_t wake = 1;
+      (void)!::write(t.wake_fd, &wake, sizeof(wake));
+    }
+  }
+  ::close(aepfd);
+}
+
+void NetServer::AdoptNewConnections(IoThread& t) {
+  std::vector<std::unique_ptr<Connection>> fresh;
+  {
+    // clic-lint: begin-allow(no-mutex-data-path) reason=inbox adoption, once per accepted connection
+    MutexLock lock(t.mu);
+    // clic-lint: end-allow(no-mutex-data-path)
+    fresh.swap(t.inbox);
+  }
+  for (auto& conn : fresh) {
+    conn->io.Acquire();
+    conn->epfd = t.epfd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = conn.get();
+    ::epoll_ctl(t.epfd, EPOLL_CTL_ADD, conn->fd, &ev);
+    conn->io.Release();
+    t.owned.push_back(std::move(conn));
+  }
+}
+
+void NetServer::IoLoop(std::size_t k) {
+  IoThread& t = *io_[k];
+  const bool has_deadlines =
+      options_.read_timeout_ms > 0.0 || options_.write_timeout_ms > 0.0;
+  int tick_ms = 100;
+  if (has_deadlines) {
+    double shortest = 1e9;
+    if (options_.read_timeout_ms > 0.0) {
+      shortest = std::min(shortest, options_.read_timeout_ms);
+    }
+    if (options_.write_timeout_ms > 0.0) {
+      shortest = std::min(shortest, options_.write_timeout_ms);
+    }
+    tick_ms = std::max(1, static_cast<int>(shortest / 4.0));
+  }
+  epoll_event events[64];
+  for (;;) {
+    AdoptNewConnections(t);
+    if (stopping_.load(std::memory_order_acquire)) break;
+    const int n = ::epoll_wait(t.epfd, events, 64, tick_ms);
+    for (int i = 0; i < n; ++i) {
+      Connection* conn = static_cast<Connection*>(events[i].data.ptr);
+      if (conn == nullptr) {
+        std::uint64_t drainv = 0;
+        (void)!::read(t.wake_fd, &drainv, sizeof(drainv));
+        continue;
+      }
+      conn->io.Acquire();
+      if (!conn->closed) {
+        if (events[i].events & EPOLLIN) HandleReadable(*conn);
+        if (!conn->closed && (events[i].events & EPOLLOUT)) {
+          FlushWrites(*conn, 0);
+        }
+        if (!conn->closed &&
+            (events[i].events & (EPOLLERR | EPOLLHUP)) &&
+            !(events[i].events & EPOLLIN)) {
+          CloseConnection(*conn, false);
+        }
+      }
+      conn->io.Release();
+    }
+    if (has_deadlines) SweepDeadlines(t, NowNs());
+    // Deferred removal: a closed connection's pointer may still sit in
+    // this iteration's event array, so destruction waits for the end of
+    // the loop body.
+    for (std::size_t i = t.owned.size(); i > 0; --i) {
+      Connection& conn = *t.owned[i - 1];
+      conn.io.Acquire();
+      const bool gone = conn.closed;
+      conn.io.Release();
+      if (gone) t.owned.erase(t.owned.begin() + (i - 1));
+    }
+  }
+  // Drain path: flush what each connection already sent into the
+  // stopped bucket (the cache server is stopped by now, so every
+  // submit lands there with exact accounting), reply, close.
+  AdoptNewConnections(t);
+  for (auto& conn : t.owned) {
+    conn->io.Acquire();
+    if (!conn->closed) DrainConnection(*conn);
+    conn->io.Release();
+  }
+  t.owned.clear();
+}
+
+void NetServer::HandleReadable(Connection& conn) {
+  const fault::FaultPlan* plan = options_.server.fault;
+  std::uint8_t buf[16384];
+  for (;;) {
+    std::size_t want = sizeof(buf);
+    ++conn.reads;
+    if (plan != nullptr && plan->net_partial_read_every > 0 &&
+        conn.reads % plan->net_partial_read_every == 0) {
+      // Deterministically exercise the partial-frame path: this read
+      // event drains a single byte; level-triggered epoll re-arms for
+      // the rest.
+      counters_.partial_reads.fetch_add(1, std::memory_order_relaxed);
+      want = 1;
+    }
+    const ssize_t r = ::read(conn.fd, buf, want);
+    if (r == 0) {
+      // EOF. A stream cut mid-frame is malformed input — count it as a
+      // rejected frame even though no error reply can reach the peer.
+      if (conn.parser.HasPartial()) {
+        counters_.rejected_frames.fetch_add(1, std::memory_order_relaxed);
+        CloseConnection(conn, false);
+      } else {
+        CloseConnection(conn, true);
+      }
+      return;
+    }
+    if (r < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      CloseConnection(conn, false);
+      return;
+    }
+    const std::uint8_t* p = buf;
+    std::size_t len = static_cast<std::size_t>(r);
+    for (;;) {
+      const ParseStatus st = conn.parser.Consume(&p, &len, &conn.frame);
+      if (st == ParseStatus::kNeedMore) break;
+      if (st == ParseStatus::kError) {
+        // Fail closed: typed error reply, then the connection dies.
+        counters_.rejected_frames.fetch_add(1, std::memory_order_relaxed);
+        counters_.rejected_requests.fetch_add(
+            conn.parser.rejected_batch_count(), std::memory_order_relaxed);
+        SendReply(conn, FrameType::kError, conn.parser.error_code(),
+                  conn.parser.frames() + 1);
+        CloseConnection(conn, false);
+        return;
+      }
+      if (conn.frame.type != FrameType::kBatch) {
+        // Status/error frames flow server -> client only; a client
+        // sending one is a protocol violation.
+        counters_.rejected_frames.fetch_add(1, std::memory_order_relaxed);
+        SendReply(conn, FrameType::kError, kWireBadType, conn.frame.seq);
+        CloseConnection(conn, false);
+        return;
+      }
+      counters_.frames.fetch_add(1, std::memory_order_relaxed);
+      counters_.frame_requests.fetch_add(conn.frame.requests.size(),
+                                         std::memory_order_relaxed);
+      SubmitFrame(conn);
+      if (conn.closed) return;
+      if (plan != nullptr && plan->net_reset_every > 0 &&
+          conn.accept_index % plan->net_reset_every == 0 &&
+          conn.parser.frames() == 1) {
+        // net:reset — tear this connection down right after its first
+        // reply, RST instead of FIN.
+        counters_.resets_injected.fetch_add(1, std::memory_order_relaxed);
+        const linger rst{1, 0};
+        ::setsockopt(conn.fd, SOL_SOCKET, SO_LINGER, &rst, sizeof(rst));
+        CloseConnection(conn, false);
+        return;
+      }
+    }
+    // Partial-frame timer for the slowloris sweep.
+    if (conn.parser.HasPartial()) {
+      if (conn.partial_since_ns == 0) conn.partial_since_ns = NowNs();
+    } else {
+      conn.partial_since_ns = 0;
+    }
+  }
+}
+
+void NetServer::SubmitFrame(Connection& conn) {
+  const SubmitResult res =
+      server_->Submit(conn.slot, conn.frame.requests.data(),
+                      conn.frame.requests.size());
+  SendReply(conn, FrameType::kStatus, WireCodeFor(res), conn.frame.seq);
+}
+
+void NetServer::SendReply(Connection& conn, FrameType type,
+                          std::uint16_t code, std::uint64_t seq) {
+  AppendReplyFrame(type, code, seq, &conn.outbuf);
+  ++conn.replies;
+  const fault::FaultPlan* plan = options_.server.fault;
+  if (plan != nullptr && plan->net_torn_write_every > 0 &&
+      conn.replies % plan->net_torn_write_every == 0) {
+    // net:torn-write — split this reply across two send() calls; the
+    // client parser must reassemble.
+    counters_.torn_writes.fetch_add(1, std::memory_order_relaxed);
+    FlushWrites(conn, conn.outbuf.size() / 2);
+  }
+  FlushWrites(conn, 0);
+}
+
+void NetServer::FlushWrites(Connection& conn, std::size_t limit) {
+  if (conn.closed) return;
+  std::size_t budget = limit == 0 ? conn.outbuf.size() : limit;
+  std::size_t written = 0;
+  while (written < budget && written < conn.outbuf.size()) {
+    const ssize_t w = ::write(conn.fd, conn.outbuf.data() + written,
+                              std::min(budget, conn.outbuf.size()) - written);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConnection(conn, false);
+      return;
+    }
+    written += static_cast<std::size_t>(w);
+  }
+  if (written > 0) conn.outbuf.erase(0, written);
+  const bool pending = !conn.outbuf.empty();
+  if (pending && conn.write_since_ns == 0) conn.write_since_ns = NowNs();
+  if (!pending) conn.write_since_ns = 0;
+  if (pending != conn.want_write && conn.epfd >= 0) {
+    epoll_event ev{};
+    ev.events = pending ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+    ev.data.ptr = &conn;
+    ::epoll_ctl(conn.epfd, EPOLL_CTL_MOD, conn.fd, &ev);
+    conn.want_write = pending;
+  }
+}
+
+void NetServer::CloseConnection(Connection& conn, bool clean) {
+  if (conn.closed) return;
+  conn.closed = true;
+  if (conn.epfd >= 0) ::epoll_ctl(conn.epfd, EPOLL_CTL_DEL, conn.fd, nullptr);
+  ::close(conn.fd);
+  conn.fd = -1;
+  if (options_.server.deterministic) {
+    // Deterministic mode: a closed connection ends its port's stream —
+    // the single consumer's strict-client-order drain advances past it.
+    // Slots are never recycled (accept order == port order).
+    server_->Finish(conn.slot);
+  } else {
+    // clic-lint: begin-allow(no-mutex-data-path) reason=bounded connection table release, once per close
+    MutexLock lock(slots_mu_);
+    // clic-lint: end-allow(no-mutex-data-path)
+    free_slots_.push_back(conn.slot);
+  }
+  (void)clean;
+}
+
+void NetServer::SweepDeadlines(IoThread& t, std::int64_t now_ns) {
+  const std::int64_t read_limit =
+      static_cast<std::int64_t>(options_.read_timeout_ms * 1e6);
+  const std::int64_t write_limit =
+      static_cast<std::int64_t>(options_.write_timeout_ms * 1e6);
+  for (auto& conn_ptr : t.owned) {
+    Connection& conn = *conn_ptr;
+    conn.io.Acquire();
+    if (!conn.closed) {
+      if (read_limit > 0 && conn.partial_since_ns != 0 &&
+          now_ns - conn.partial_since_ns > read_limit) {
+        // Slowloris eviction: a partial frame has been dangling past
+        // the read deadline. Best-effort typed reply, then close.
+        counters_.evicted_read.fetch_add(1, std::memory_order_relaxed);
+        SendReply(conn, FrameType::kError, kWireReadTimeout, 0);
+        if (!conn.closed) CloseConnection(conn, false);
+      } else if (write_limit > 0 && conn.write_since_ns != 0 &&
+                 now_ns - conn.write_since_ns > write_limit) {
+        // The peer will not take its own replies; drop it.
+        counters_.evicted_write.fetch_add(1, std::memory_order_relaxed);
+        CloseConnection(conn, false);
+      }
+    }
+    conn.io.Release();
+  }
+}
+
+void NetServer::DrainConnection(Connection& conn) {
+  // One final non-blocking read pass: frames the client already sent
+  // are flushed through the normal submit path — the stopped cache
+  // server counts each as submitted + stopped, keeping the ledger
+  // exact — and answered with a `stopped` reply.
+  std::uint8_t buf[16384];
+  for (;;) {
+    const ssize_t r = ::read(conn.fd, buf, sizeof(buf));
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;
+    const std::uint8_t* p = buf;
+    std::size_t len = static_cast<std::size_t>(r);
+    for (;;) {
+      const ParseStatus st = conn.parser.Consume(&p, &len, &conn.frame);
+      if (st == ParseStatus::kNeedMore) break;
+      if (st == ParseStatus::kError) {
+        counters_.rejected_frames.fetch_add(1, std::memory_order_relaxed);
+        SendReply(conn, FrameType::kError, conn.parser.error_code(),
+                  conn.parser.frames() + 1);
+        CloseConnection(conn, false);
+        return;
+      }
+      if (conn.frame.type == FrameType::kBatch) {
+        counters_.frames.fetch_add(1, std::memory_order_relaxed);
+        counters_.frame_requests.fetch_add(conn.frame.requests.size(),
+                                           std::memory_order_relaxed);
+        counters_.drained_frames.fetch_add(1, std::memory_order_relaxed);
+        SubmitFrame(conn);
+        if (conn.closed) return;
+      }
+    }
+  }
+  FlushWrites(conn, 0);
+  if (!conn.closed) CloseConnection(conn, true);
+}
+
+void NetServer::Drain() {
+  if (drained_) return;
+  drained_ = true;
+  stopping_.store(true, std::memory_order_release);
+  if (acceptor_.joinable()) acceptor_.join();
+  // Stop the cache server first: every submit from here on lands in the
+  // ledger's `stopped` bucket, so the io threads' drain pass can flush
+  // in-flight frames with exact accounting.
+  server_->Stop();
+  for (auto& t : io_) {
+    const std::uint64_t wake = 1;
+    (void)!::write(t->wake_fd, &wake, sizeof(wake));
+  }
+  for (auto& t : io_) {
+    if (t->thread.joinable()) t->thread.join();
+  }
+}
+
+NetStats NetServer::Stats() const {
+  NetStats s;
+  s.accepted = counters_.accepted.load(std::memory_order_relaxed);
+  s.accept_shed = counters_.accept_shed.load(std::memory_order_relaxed);
+  s.frames = counters_.frames.load(std::memory_order_relaxed);
+  s.frame_requests =
+      counters_.frame_requests.load(std::memory_order_relaxed);
+  s.rejected_frames =
+      counters_.rejected_frames.load(std::memory_order_relaxed);
+  s.rejected_requests =
+      counters_.rejected_requests.load(std::memory_order_relaxed);
+  s.evicted_read = counters_.evicted_read.load(std::memory_order_relaxed);
+  s.evicted_write = counters_.evicted_write.load(std::memory_order_relaxed);
+  s.drained_frames =
+      counters_.drained_frames.load(std::memory_order_relaxed);
+  s.resets_injected =
+      counters_.resets_injected.load(std::memory_order_relaxed);
+  s.torn_writes = counters_.torn_writes.load(std::memory_order_relaxed);
+  s.partial_reads = counters_.partial_reads.load(std::memory_order_relaxed);
+  s.accept_stalls = counters_.accept_stalls.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace clic::server::net

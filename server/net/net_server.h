@@ -1,0 +1,229 @@
+// Epoll network front end for the sharded cache server: one acceptor
+// thread plus N connection (io) threads parse wire frames
+// (server/net/wire_format.h) into request batches and funnel them
+// through the existing ClientPort submit path, mapping every admission
+// outcome back to a wire status code so backpressure is visible to
+// clients instead of silent.
+//
+// Topology and ownership: each accepted connection claims one
+// CacheServer client port (the connection table is bounded by
+// conn_limit == the server's port count; a full table sheds at accept
+// time with a typed server_busy reply). A connection is owned by
+// exactly one io thread — its `io` ThreadRole capability guards all
+// per-connection parse/write state, so the data path (read -> parse ->
+// Submit -> reply) takes no mutex at all. Mutexes survive only on the
+// control path: the acceptor handing a new connection to its io
+// thread's inbox, and the free-slot list at accept/close. That honours
+// the CacheServer producer contract (at most one producer thread per
+// client id): only the owning io thread ever submits on a connection's
+// slot, and slot recycling hands the port to the next connection
+// through the free-list mutex (a happens-before edge).
+//
+// Robustness model:
+//   * fail-closed parsing — a malformed frame gets a typed error reply
+//     and the connection closes; every length is cross-checked and
+//     config-bounded before allocation (see wire_format.h);
+//   * per-connection deadlines — a partial frame older than
+//     read_timeout_ms is slowloris-evicted (typed read_timeout reply,
+//     close); replies unflushed past write_timeout_ms evict the
+//     connection (a reader too slow to take its own acks);
+//   * bounded connection table — accept-time shedding, never unbounded
+//     connection state;
+//   * graceful drain — Drain() stops accepting, stops the cache server
+//     (so every late submit lands in the ledger's `stopped` bucket with
+//     exact accounting), flushes frames already received into that
+//     bucket via the normal submit path, replies `stopped`, closes.
+//
+// Deterministic mode (options.server.deterministic): one io thread,
+// slots assigned in accept order, and a cleanly closed connection
+// Finish()es its port — so sequentially driven connections replay
+// exactly the strict-client-order stream the deterministic consumer
+// expects, and wire-level serving verifies bit-identical against
+// per-shard sequential Simulate() (clic_serve --connect --verify).
+//
+// Fault injection: the plan's net: clauses (fault_injection.h) fire on
+// logical counters — reply index (torn writes), read-event index
+// (partial reads), accept index (resets, accept stalls) — never on
+// wall-clock time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "server/cache_server.h"
+#include "server/net/wire_format.h"
+
+namespace clic::server::net {
+
+struct NetServerOptions {
+  /// IPv4 address to bind (dotted quad). Loopback by default: serving
+  /// beyond localhost is an explicit decision.
+  std::string listen_addr = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// Connection (io) threads; each owns a disjoint set of connections.
+  unsigned io_threads = 1;
+  /// Max concurrent connections == cache-server client ports. A full
+  /// table sheds new connections at accept time (server_busy + close).
+  std::size_t conn_limit = 64;
+  /// > 0: evict a connection whose partial frame is older than this
+  /// (the slowloris timer). 0 = no read deadline.
+  double read_timeout_ms = 0.0;
+  /// > 0: evict a connection with replies unflushed longer than this.
+  double write_timeout_ms = 0.0;
+  /// Frame parser bound: max requests per batch frame.
+  std::size_t max_batch = 4096;
+  /// Embedded cache-server configuration; the fault plan (including
+  /// net: clauses) rides on server.fault.
+  ServerOptions server;
+};
+
+/// Wire-edge accounting, disjoint from (and additive to) the cache
+/// server's admission ledger: rejected_* count frames that failed
+/// parsing and therefore never reached Submit.
+struct NetStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t accept_shed = 0;        // connections refused: table full
+  std::uint64_t frames = 0;             // well-formed batch frames
+  std::uint64_t frame_requests = 0;
+  std::uint64_t rejected_frames = 0;    // malformed frames (typed error)
+  std::uint64_t rejected_requests = 0;  // requests inside them (0 when the
+                                        // header itself was unreadable)
+  std::uint64_t evicted_read = 0;       // slowloris evictions
+  std::uint64_t evicted_write = 0;      // slow-reader evictions
+  std::uint64_t drained_frames = 0;     // frames flushed to stopped at drain
+  std::uint64_t resets_injected = 0;    // net:reset fault closes
+  std::uint64_t torn_writes = 0;        // net:torn-write activations
+  std::uint64_t partial_reads = 0;      // net:partial-read activations
+  std::uint64_t accept_stalls = 0;      // net:accept-stall activations
+};
+
+class NetServer {
+ public:
+  /// Binds, listens, starts the acceptor and io threads (and the
+  /// embedded CacheServer's consumers). Throws std::invalid_argument
+  /// for unusable options (zero io threads / conn limit, more than one
+  /// io thread in deterministic mode, unparseable listen address) and
+  /// std::runtime_error when bind/listen fails.
+  explicit NetServer(const NetServerOptions& options);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// The bound port (the ephemeral one when options.port was 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Graceful drain (Stop/SIGTERM path): stop accepting, stop the cache
+  /// server (late submits -> ledger `stopped`, exact accounting), flush
+  /// frames already received into that bucket through the normal submit
+  /// path with `stopped` replies, close every connection, join all
+  /// threads. Idempotent; called by the destructor if needed.
+  void Drain();
+
+  /// The embedded cache server — stats are quiescent after Drain().
+  const CacheServer& cache() const { return *server_; }
+
+  /// Wire-edge counters; quiescent after Drain().
+  NetStats Stats() const;
+
+ private:
+  /// One accepted connection. Owned by exactly one io thread; the `io`
+  /// ThreadRole capability is that ownership made compile-checkable —
+  /// every function touching the parse/write state declares
+  /// CLIC_REQUIRES(conn.io), and only the owning io thread (or the
+  /// accept-time setup that runs before the handoff) acquires it.
+  struct Connection {
+    /// "I am this connection's owning io thread" (or its pre-handoff
+    /// acceptor setup / post-join teardown).
+    ThreadRole io;
+    int fd = -1;
+    std::size_t slot = 0;          // cache-server client port
+    std::uint64_t accept_index = 0;  // 1-based; drives net:reset/stall
+    int epfd = -1;                   // owning thread's epoll fd (set at adoption)
+    FrameParser parser CLIC_GUARDED_BY(io);
+    ParsedFrame frame CLIC_GUARDED_BY(io);  // decode scratch, reused per frame
+    std::string outbuf CLIC_GUARDED_BY(io);         // unflushed replies
+    std::uint64_t reads CLIC_GUARDED_BY(io) = 0;    // read events (faults)
+    std::uint64_t replies CLIC_GUARDED_BY(io) = 0;  // replies (faults)
+    std::int64_t partial_since_ns CLIC_GUARDED_BY(io) = 0;  // slowloris timer
+    std::int64_t write_since_ns CLIC_GUARDED_BY(io) = 0;
+    bool want_write CLIC_GUARDED_BY(io) = false;  // EPOLLOUT registered
+    bool closed CLIC_GUARDED_BY(io) = false;
+
+    Connection(std::size_t max_batch) : parser(max_batch) {}
+  };
+
+  /// One io thread: its epoll set, a wake eventfd, the connections it
+  /// owns (thread-local — only the io thread itself touches `owned`
+  /// after adoption), and the acceptor->io handoff inbox (control
+  /// path).
+  struct IoThread {
+    int epfd = -1;
+    int wake_fd = -1;
+    std::thread thread;
+    std::vector<std::unique_ptr<Connection>> owned;  // io-thread-local
+    // clic-lint: begin-allow(no-mutex-data-path) reason=acceptor-to-io-thread connection handoff inbox; touched once per accepted connection, never per frame
+    Mutex mu;
+    std::vector<std::unique_ptr<Connection>> inbox CLIC_GUARDED_BY(mu);
+    // clic-lint: end-allow(no-mutex-data-path)
+  };
+
+  void AcceptLoop();
+  void IoLoop(std::size_t k);
+  void AdoptNewConnections(IoThread& t);
+  void HandleReadable(Connection& conn) CLIC_REQUIRES(conn.io);
+  void SubmitFrame(Connection& conn) CLIC_REQUIRES(conn.io);
+  void SendReply(Connection& conn, FrameType type, std::uint16_t code,
+                 std::uint64_t seq) CLIC_REQUIRES(conn.io);
+  /// Writes up to `limit` bytes of outbuf (0 = all); leftovers register
+  /// EPOLLOUT and start the write-deadline clock.
+  void FlushWrites(Connection& conn, std::size_t limit)
+      CLIC_REQUIRES(conn.io);
+  void CloseConnection(Connection& conn, bool clean)
+      CLIC_REQUIRES(conn.io);
+  void SweepDeadlines(IoThread& t, std::int64_t now_ns);
+  void DrainConnection(Connection& conn) CLIC_REQUIRES(conn.io);
+
+  NetServerOptions options_;
+  std::unique_ptr<CacheServer> server_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<std::unique_ptr<IoThread>> io_;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  bool drained_ = false;  // main-thread flag; Drain is not concurrent
+
+  // Bounded connection table: free cache-server port slots. Control
+  // path only (accept / close).
+  // clic-lint: begin-allow(no-mutex-data-path) reason=free-slot list touched only at accept and connection close, never per frame
+  Mutex slots_mu_;
+  std::vector<std::size_t> free_slots_ CLIC_GUARDED_BY(slots_mu_);
+  // clic-lint: end-allow(no-mutex-data-path)
+
+  // Wire-edge counters (multi-thread writers; relaxed increments,
+  // aggregated quiescently in Stats()).
+  struct Counters {
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> accept_shed{0};
+    std::atomic<std::uint64_t> frames{0};
+    std::atomic<std::uint64_t> frame_requests{0};
+    std::atomic<std::uint64_t> rejected_frames{0};
+    std::atomic<std::uint64_t> rejected_requests{0};
+    std::atomic<std::uint64_t> evicted_read{0};
+    std::atomic<std::uint64_t> evicted_write{0};
+    std::atomic<std::uint64_t> drained_frames{0};
+    std::atomic<std::uint64_t> resets_injected{0};
+    std::atomic<std::uint64_t> torn_writes{0};
+    std::atomic<std::uint64_t> partial_reads{0};
+    std::atomic<std::uint64_t> accept_stalls{0};
+  };
+  Counters counters_;
+};
+
+}  // namespace clic::server::net

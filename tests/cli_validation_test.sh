@@ -137,6 +137,39 @@ expect_reject "clic_serve non-power-of-two ring capacity" "96" "power of two" --
 expect_reject "clic_serve unknown ownership assignment" "bogus" "stripe, block" -- \
   "$SERVE" --trace=DB2_C60 --owned-shards=bogus
 
+# Network front-end flags (PR 9): numeric garbage fails fast before a
+# socket is opened, net tuning without a net mode is a typo, and the
+# verify-over-the-wire gate only exists with the loopback client — each
+# rejection must name the offender and print the valid combinations.
+expect_reject "clic_serve zero io threads" "--io-threads" "positive integer" -- \
+  "$SERVE" --trace=DB2_C60 --connect --io-threads=0
+expect_reject "clic_serve negative io threads wraparound" "-2" "positive integer" -- \
+  "$SERVE" --trace=DB2_C60 --connect --io-threads=-2
+expect_reject "clic_serve zero conn limit" "--conn-limit" "positive integer" -- \
+  "$SERVE" --trace=DB2_C60 --connect --conn-limit=0
+expect_reject "clic_serve port out of range" "--port" "0..65535" -- \
+  "$SERVE" --trace=DB2_C60 --listen --port=65536
+expect_reject "clic_serve negative port wraparound" "-1" "non-negative integer" -- \
+  "$SERVE" --trace=DB2_C60 --listen --port=-1
+expect_reject "clic_serve garbage read timeout" "abc" "finite non-negative" -- \
+  "$SERVE" --trace=DB2_C60 --connect --read-timeout-ms=abc
+expect_reject "clic_serve net tuning without net mode" "--port/--io-threads" "--connect" -- \
+  "$SERVE" --trace=DB2_C60 --io-threads=2
+expect_reject "clic_serve listen and connect clash" "--listen and --connect" "valid combinations" -- \
+  "$SERVE" --trace=DB2_C60 --listen --connect
+expect_reject "clic_serve listen with verify" "--listen" "--connect --deterministic --verify" -- \
+  "$SERVE" --trace=DB2_C60 --listen --deterministic --verify
+expect_reject "clic_serve deterministic wire with multiple io threads" "--io-threads=4" "exactly one io thread" -- \
+  "$SERVE" --trace=DB2_C60 --connect --deterministic --io-threads=4
+expect_reject "clic_serve connect with duration" "--duration" "loopback" -- \
+  "$SERVE" --trace=DB2_C60 --connect --duration=1
+expect_reject "clic_serve conn limit below clients" "--conn-limit=2" "--clients=8" -- \
+  "$SERVE" --trace=DB2_C60 --connect --clients=8 --conn-limit=2
+expect_reject "clic_serve verify vs net reset" "net:reset" "baseline" -- \
+  "$SERVE" --trace=DB2_C60 --connect --deterministic --verify --fault-plan=net:reset=2
+expect_reject "clic_serve net fault clause without trigger" "net" "torn-write" -- \
+  "$SERVE" --trace=DB2_C60 --fault-plan=net:stall-ms=5
+
 # Batch larger than the request budget is a typo, not a workload. This
 # one loads (a tiny capped slice of) the trace, so point the cache at a
 # scratch dir to keep the test hermetic.

@@ -19,6 +19,20 @@ and each run must actually serve something. A request the server
 neither served nor accounted for as rejected is a lost write from the
 client's point of view, so any imbalance fails the build.
 
+Rows with mode=="net" (from bench_net_serving, PR 9) extend the same
+correctness gate to the wire edge: every request that arrived in a
+frame whose header parsed — well-formed or poisoned — must be accounted
+for exactly once, so submitted == served + shed + timed_out + expired +
+stopped + wire_rejected, and each run must actually serve something.
+wire_rejected counts requests inside frames the fail-closed parser
+refused (bad checksum, bad lengths, garbage); a request that is neither
+served, rejected by admission, nor rejected at the wire is a lost write
+and fails the build. Rows may also carry healthy_ratio (healthy
+connections' throughput under slow-reader + churn antagonists relative
+to the fault-free wire baseline); it is printed for the record — the
+>= 0.90 expectation is a bench/README.md baseline, not a hard gate,
+because CI boxes share cores with the antagonists themselves.
+
 Rows with mode=="server" (from bench_server_scaling, PR 7) gate the
 thread-per-core shard-ownership claim: on a machine that actually has
 cores to scale across (any row reports cores_detected > 1), the best
@@ -53,6 +67,9 @@ def main(argv):
     rows = 0
     overload_rows = 0
     overload_failures = 0
+    net_rows = 0
+    net_failures = 0
+    net_ratios = []  # (bench name, healthy_ratio) for the record
     # mode=="server" scaling samples: per policy, best rate seen with one
     # consumer and best rate seen with more than one (plus whether any
     # row saw a multi-core machine at all).
@@ -80,6 +97,22 @@ def main(argv):
                     if bucket[policy] is None or rate > bucket[policy]:
                         bucket[policy] = rate
             continue  # scaling rows are gated below, not by the floors
+        if row.get("mode") == "net":
+            net_rows += 1
+            submitted = int(row.get("submitted", -1))
+            parts_sum = sum(int(row.get(k, 0)) for k in
+                            ("served", "shed", "timed_out", "expired",
+                             "stopped", "wire_rejected"))
+            served = int(row.get("served", 0))
+            if submitted < 0 or submitted != parts_sum or served <= 0:
+                print(f"check_bench_floors: {name}: net ledger broken: "
+                      f"submitted={submitted} != served+shed+timed_out+"
+                      f"expired+stopped+wire_rejected={parts_sum} "
+                      f"(served={served})", file=sys.stderr)
+                net_failures += 1
+            if "healthy_ratio" in row:
+                net_ratios.append((name, float(row["healthy_ratio"])))
+            continue  # net rows never feed the throughput floors
         if row.get("mode") == "overload":
             overload_rows += 1
             submitted = int(row.get("submitted", -1))
@@ -111,7 +144,14 @@ def main(argv):
         print(f"check_bench_floors: overload ledger exact in "
               f"{overload_rows - overload_failures}/{overload_rows} rows "
               f"{verdict}")
-    failed = overload_failures > 0
+    if net_rows:
+        verdict = "OK" if net_failures == 0 else "BROKEN"
+        print(f"check_bench_floors: net ledger exact in "
+              f"{net_rows - net_failures}/{net_rows} rows {verdict}")
+        for name, ratio in net_ratios:
+            print(f"check_bench_floors: {name}: healthy_ratio = "
+                  f"{ratio:.2f} (README baseline: >= 0.90)")
+    failed = overload_failures > 0 or net_failures > 0
     if server_rows:
         if not multicore_seen:
             print("check_bench_floors: server scaling gate SKIPPED "
