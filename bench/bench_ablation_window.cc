@@ -1,29 +1,41 @@
 // Ablation: window length W and decay rate r (Section 3.2). The paper
 // fixes W = 1e6 (1e5 at our 1/10 scale) and r = 1; this bench sweeps both
 // on the DB2_C300 trace, quantifying how reactivity vs stability of the
-// priority estimates affects the hit ratio.
+// priority estimates affects the hit ratio. Each (W, r) point also runs
+// an adaptive column — the same W as the scheduled window but with the
+// churn-triggered early close armed (core/clic.h defaults) — showing
+// what the adaptive controller costs or buys on a trace with no
+// engineered phase change.
 #include "bench_util.h"
 
 namespace clic::bench {
 namespace {
 
-void Window(benchmark::State& state, std::uint64_t w, double r) {
+void Window(benchmark::State& state, std::uint64_t w, double r,
+            bool adaptive) {
   ClicOptions options = PaperClicOptions();
   options.window = w;
   options.decay = r;
+  options.adaptive_window = adaptive;
   RunPoint(state, GetTrace("DB2_C300"), PolicyKind::kClic, 12'000, options);
 }
 
 void RegisterAll() {
   for (std::uint64_t w : {25'000u, 50'000u, 100'000u, 200'000u, 400'000u}) {
     for (double r : {0.25, 0.5, 1.0}) {
-      const std::string name = "AblationWindow/DB2_C300/W=" +
-                               std::to_string(w) + "/r=" + std::to_string(r);
-      benchmark::RegisterBenchmark(
-          name.c_str(),
-          [w, r](benchmark::State& s) { Window(s, w, r); })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
+      for (bool adaptive : {false, true}) {
+        const std::string name = "AblationWindow/DB2_C300/W=" +
+                                 std::to_string(w) + "/r=" +
+                                 std::to_string(r) +
+                                 (adaptive ? "/adaptive" : "/fixed");
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [w, r, adaptive](benchmark::State& s) {
+              Window(s, w, r, adaptive);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
     }
   }
 }

@@ -7,13 +7,20 @@
 // ranks scan-hinted pages below the hot bands and should match or beat
 // both at the paper's cache sizes (CI smoke-checks CLIC >= LRU here).
 //
+// The phase-change presets (phase-abrupt, phase-gradual, zipf-shifted)
+// additionally run a CLIC-adaptive variant — the churn-triggered
+// adaptive window of core/clic.h with its default knobs — next to the
+// fixed paper window, so the adaptive-vs-fixed recovery gap is a
+// first-class bench row (and a CI gate; see
+// tools/check_bench_floors.py).
+//
 //   bench_scenarios [--benchmark_filter='Scenario/scan-pollute/.*']
 //
 // Each benchmark emits one point named
 // `Scenario/<preset>/<policy>/<cache_pages>` with read_hit_ratio and
 // requests_per_sec counters, and appends a mode="scenario" JSON-Lines
-// row to $CLIC_BENCH_JSON_OUT (same format as the micro benches; see
-// bench/README.md).
+// row to $CLIC_BENCH_JSON_OUT carrying the hit ratio and an `adaptive`
+// flag (same file format as the micro benches; see bench/README.md).
 #include <chrono>
 #include <string>
 
@@ -25,12 +32,12 @@ namespace {
 
 void ScenarioPoint(benchmark::State& state, const std::string& preset,
                    PolicyKind kind, std::size_t cache_pages,
-                   const std::string& name) {
+                   const std::string& name, const ClicOptions& clic) {
   const Trace& trace = GetTrace(preset);
   SimResult result;
   const auto t0 = std::chrono::steady_clock::now();
   for (auto _ : state) {
-    auto policy = MakePolicy(kind, cache_pages, &trace, PaperClicOptions());
+    auto policy = MakePolicy(kind, cache_pages, &trace, clic);
     result = Simulate(trace, *policy);
   }
   const std::chrono::duration<double> elapsed =
@@ -51,8 +58,24 @@ void ScenarioPoint(benchmark::State& state, const std::string& preset,
     row.batch = kSimulateBatch;
     row.requests = trace.size();
     row.mode = "scenario";
+    row.extra = "\"adaptive\":";
+    row.extra.append(clic.adaptive_window ? "true" : "false");
+    row.extra.append(",\"cache_pages\":");
+    row.extra.append(std::to_string(cache_pages));
+    row.extra.append(",\"read_hit_ratio\":");
+    sweep::AppendDouble(&row.extra, result.total.ReadHitRatio());
     AppendBenchJson(row);
   }
+}
+
+/// Presets whose access pattern actually moves mid-trace: the ones
+/// where the adaptive window has something to react to. Stationary
+/// presets are deliberately excluded here — test_adaptive_window pins
+/// that adaptive CLIC is bit-identical to fixed on zipf-hot, so a bench
+/// row would duplicate the fixed one.
+bool HasPhaseChange(const std::string& preset) {
+  return preset == "phase-abrupt" || preset == "phase-gradual" ||
+         preset == "zipf-shifted";
 }
 
 void RegisterScenarios() {
@@ -73,11 +96,28 @@ void RegisterScenarios() {
         benchmark::RegisterBenchmark(
             name.c_str(),
             [preset_name, kind, cache_pages, name](benchmark::State& s) {
-              ScenarioPoint(s, preset_name, kind, cache_pages, name);
+              ScenarioPoint(s, preset_name, kind, cache_pages, name,
+                            PaperClicOptions());
             })
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
       }
+    }
+    if (!HasPhaseChange(preset_name)) continue;
+    for (std::size_t cache_pages : caches) {
+      const std::string name = std::string("Scenario/") + preset_name +
+                               "/CLIC-adaptive/" +
+                               std::to_string(cache_pages);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [preset_name, cache_pages, name](benchmark::State& s) {
+            ClicOptions clic = PaperClicOptions();
+            clic.adaptive_window = true;
+            ScenarioPoint(s, preset_name, PolicyKind::kClic, cache_pages,
+                          name, clic);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
     }
   }
 }

@@ -5,6 +5,7 @@
 // silent skip, and never an abort deep inside trace resolution.
 #pragma once
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
@@ -58,8 +59,9 @@ inline std::string KnownWorkloadNames() {
 /// list can never drift from the grids that actually exist.
 inline const std::vector<std::string>& FigurePresetNames() {
   static const std::vector<std::string> names = {
-      "6",          "7",           "8",           "ablation",
-      "zipf-sweep", "scan-pollution", "phase-shift", "tenant-mix"};
+      "6",          "7",           "8",
+      "ablation",   "zipf-sweep",  "scan-pollution",
+      "phase-shift", "phase-shift-adaptive", "tenant-mix"};
   return names;
 }
 
@@ -160,6 +162,35 @@ inline void RequireKnownWorkload(const char* prog, const std::string& flag,
   if (ResolveWorkload(name, &error)) return;
   Die(prog, flag + ": unknown workload '" + name + "' (" + error +
                 "; valid traces: " + KnownWorkloadNames() + ")");
+}
+
+/// Validates the adaptive-window option group (core/clic.h) after all
+/// flags are parsed: the churn threshold is a rank similarity in
+/// [0, 1], and the resolved floor/ceiling pair must not be inverted
+/// (0 means the ClicPolicy defaults — floor window/16, ceiling window).
+/// Shared by clic_sweep and clic_serve so both reject the same
+/// combinations with the same wording.
+inline void RequireValidAdaptiveWindow(const char* prog,
+                                       const ClicOptions& clic) {
+  if (clic.churn_threshold < 0.0 || clic.churn_threshold > 1.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", clic.churn_threshold);
+    Die(prog, std::string("--churn-threshold='") + buf +
+                  "' is out of range (the rank similarity lives in [0, 1])");
+  }
+  const std::uint64_t floor_w =
+      clic.min_window != 0 ? clic.min_window
+                           : std::max<std::uint64_t>(1, clic.window / 16);
+  const std::uint64_t ceil_w =
+      clic.max_window != 0 ? clic.max_window : clic.window;
+  if (floor_w > ceil_w) {
+    Die(prog,
+        "--min-window=" + std::to_string(floor_w) +
+            (clic.min_window == 0 ? " (defaulted to window/16)" : "") +
+            " exceeds --max-window=" + std::to_string(ceil_w) +
+            (clic.max_window == 0 ? " (defaulted to the window)" : "") +
+            " (need min-window <= max-window)");
+  }
 }
 
 /// Parses one policy token; unknown names die with the valid set.

@@ -22,7 +22,32 @@ ClicPolicy::ClicPolicy(std::size_t cache_pages, ClicOptions options)
     cache_capacity_ = cache_pages > meta ? cache_pages - meta : 1;
   }
   if (options_.window == 0) options_.window = 1;
-  next_window_end_ = options_.window;
+  // Adaptive bounds resolve against the configured window: the floor
+  // defaults to a sixteenth of it, the ceiling to the window itself, so
+  // adaptation can only shorten the paper's W unless the caller widens
+  // the ceiling explicitly.
+  min_window_ = options_.min_window != 0
+                    ? options_.min_window
+                    : std::max<std::uint64_t>(1, options_.window / 16);
+  max_window_ = options_.max_window != 0 ? options_.max_window
+                                         : options_.window;
+  if (min_window_ > max_window_) min_window_ = max_window_;
+  effective_window_ = options_.adaptive_window
+                          ? std::clamp(options_.window, min_window_,
+                                       max_window_)
+                          : options_.window;
+  next_window_end_ = effective_window_;
+  checkpoint_interval_ = std::max<std::uint64_t>(1, min_window_ / 2);
+  // The first checkpoint of a window arms at start + min_window (not at
+  // the cadence interval): no close may produce a window shorter than
+  // the floor, so a floor-length window has no checkpoints at all.
+  window_checkpoint_ = (options_.adaptive_window &&
+                        options_.churn_threshold > 0.0 &&
+                        min_window_ < effective_window_)
+                           ? min_window_
+                           : next_window_end_;
+  next_event_ = window_checkpoint_;
+  for (double& f : decay_ring_) f = options_.decay;
 
   slots_.resize(cache_capacity_ + outqueue_capacity_);
   free_slots_.reserve(slots_.size());
@@ -217,8 +242,82 @@ void ClicPolicy::InsertCached(std::uint32_t slot_index, SeqNum now) {
 
 // clic-lint: hot-path
 bool ClicPolicy::Access(const Request& r, SeqNum seq) {
-  if (seq >= next_window_end_) EndWindow(next_window_end_);
+  if (seq >= next_event_) HandleWindowEvent(seq);
   return AccessOne(r, seq);
+}
+
+void ClicPolicy::HandleWindowEvent(SeqNum seq) {
+  if (seq >= next_window_end_) {
+    EndWindow(next_window_end_);
+    return;
+  }
+  // seq landed in [checkpoint, window end): consume this checkpoint,
+  // arm the next one on the fixed cadence (every checkpoint_interval_
+  // requests, so worst-case detection latency is bounded by
+  // ~min_window even when the effective window has re-expanded),
+  // evaluate the churn signal once, and close early if the previous
+  // window's ranks no longer predict the live re-reference mass. A
+  // checkpoint no request ever lands on is never evaluated — the
+  // signal is a pure function of the request stream, not of wall time.
+  const SeqNum ckpt = window_checkpoint_;
+  const SeqNum next_ckpt = ckpt + checkpoint_interval_;
+  window_checkpoint_ =
+      next_ckpt < next_window_end_ ? next_ckpt : next_window_end_;
+  next_event_ = window_checkpoint_;
+  const double similarity = ChurnSimilarity();
+  if (similarity < options_.churn_threshold) {
+    // Close early AND discount the accumulated history by the measured
+    // similarity: ranks that no longer predict live behaviour were
+    // produced by history that is now stale, and with the paper's r = 1
+    // that history would otherwise pin the previous phase's hint sets
+    // at the top of the ranking for the rest of the run.
+    churn_discount_ = similarity;
+    EndWindow(ckpt);
+  }
+}
+
+double ClicPolicy::ChurnSimilarity() {
+  // A signed rank correlation (Spearman/Kendall) over the live partial
+  // priorities degenerates here: after a total working-set shift every
+  // stale hint set's live priority ties at exactly zero, the tie block
+  // sorts by id, and rho lands near 0 — i.e. similarity saturates at
+  // 0.5 instead of collapsing. What the close decision actually needs
+  // is "does the committed ranking still predict where re-reference
+  // value accrues", so measure exactly that: the fraction of the
+  // re-reference mass credited to hint sets the committed ranking
+  // placed in its top half (ranks above k/2 of the k ranked sets).
+  // Stable workloads score near 1; an abrupt shift scores near 0
+  // because the new phase's sets are bottom-ranked or unranked.
+  //
+  // The fraction is computed over the mass accrued SINCE THE PREVIOUS
+  // CHECKPOINT, not since the window start: rerefs_w is cumulative,
+  // and a shift landing mid-window would otherwise be diluted by the
+  // pre-shift mass for the rest of the window (measured on
+  // phase-abrupt: similarity plateaus at ~0.62 while the hit ratio
+  // sits at zero). Ranks are constant between closes, so two scalar
+  // snapshot bases — reset by EndWindow alongside rerefs_w — turn the
+  // cumulative pass into an exact per-interval delta. One pass over
+  // the candidate list, no sort — and the signal keeps firing across
+  // consecutive checkpoints until the discounted ranking predicts
+  // behaviour again.
+  const std::size_t k = positive_.size();
+  if (k < kMinChurnSignalHints) return 1.0;
+  const std::uint32_t top_rank = static_cast<std::uint32_t>(k / 2);
+  std::uint64_t total = 0;
+  std::uint64_t predicted = 0;
+  for (HintSetId h : touched_) {
+    const std::uint64_t rr = hints_.rerefs_w[h];
+    total += rr;
+    if (hints_.rank[h] > top_rank) predicted += rr;
+  }
+  const std::uint64_t interval_total = total - ckpt_total_base_;
+  const std::uint64_t interval_predicted = predicted - ckpt_pred_base_;
+  ckpt_total_base_ = total;
+  ckpt_pred_base_ = predicted;
+  // No re-references this interval is absence of evidence, not churn.
+  if (interval_total == 0) return 1.0;
+  return static_cast<double>(interval_predicted) /
+         static_cast<double>(interval_total);
 }
 
 // clic-lint: hot-path
@@ -249,24 +348,24 @@ void ClicPolicy::AccessBatch(const Request* reqs, SeqNum first_seq,
   std::size_t i = 0;
   while (i < n) {
     const SeqNum seq = first_seq + i;
-    if (seq >= next_window_end_) {
-      EndWindow(next_window_end_);
-      if (seq >= next_window_end_) {
-        // Degenerate seq jump (more than one window between consecutive
-        // requests): fall back to the scalar path's one-EndWindow-per-
-        // access behaviour for this request.
+    if (seq >= next_event_) {
+      HandleWindowEvent(seq);
+      if (seq >= next_event_) {
+        // Degenerate seq jump (more than one window event between
+        // consecutive requests): fall back to the scalar path's
+        // one-event-per-access behaviour for this request.
         hits_out[i] = AccessOne(reqs[i], seq);
         ++i;
         continue;
       }
     }
-    // No window can close before `run`, so the inner span needs no
-    // boundary check at all — the per-request branch is hoisted here,
-    // and the tracker dispatch happens once per span instead of per
-    // request.
+    // No window event (checkpoint or close) can fire before `run`, so
+    // the inner span needs no boundary check at all — the per-request
+    // branch is hoisted here, and the tracker dispatch happens once per
+    // span instead of per request.
     const std::size_t run =
         i + static_cast<std::size_t>(
-                std::min<std::uint64_t>(n - i, next_window_end_ - seq));
+                std::min<std::uint64_t>(n - i, next_event_ - seq));
     if (space_saving_) {
       RunBatchSpan<1>(reqs, first_seq, i, run, n, hits_out);
     } else if (lossy_counting_) {
@@ -347,13 +446,16 @@ inline bool ClicPolicy::AccessOneT(const Request& r, SeqNum seq) {
 //      statistics are exactly the post-reset state — skipping it is a
 //      no-op.
 //   2. An untouched hint set's Equation-2 ratio is unchanged by the
-//      decay recurrence (both accumulators scale by the same factor),
-//      so its priority — and hence its rank order relative to other
-//      unchanged hints — carries forward. The two cases where the ratio
-//      does change (approximate trackers drop unreferenced hints;
-//      decay == 0 discards history) are handled by sweeping the
-//      maintained positive set. Pending decay scalings are applied
-//      lazily by FoldDecay, with a periodic full fold keeping every
+//      plain decay recurrence (both accumulators scale by the same
+//      factor), so its priority — and hence its rank order relative to
+//      other unchanged hints — carries forward. The three cases where
+//      the ratio does change are all handled at the close that causes
+//      them: approximate trackers drop unreferenced hints and decay ==
+//      0 discards history (both sweep the maintained positive set),
+//      and a churn-discounted close scales acc_r by less than acc_s,
+//      so EndWindow folds and re-ranks every untouched hint eagerly on
+//      that close. Pending decay scalings are otherwise applied lazily
+//      by FoldDecay, with a periodic full fold keeping every
 //      *accumulator* bit-identical to the eager per-window recurrence.
 //      The carried *priority* fl(a/b) of an untouched hint can differ
 //      from an eagerly recomputed fl(fl(d*a)/fl(d*b)) by an ulp when
@@ -364,14 +466,20 @@ inline bool ClicPolicy::AccessOneT(const Request& r, SeqNum seq) {
 //      implementation would.
 
 void ClicPolicy::FoldDecay(HintSetId h, std::uint64_t upto_window) {
-  std::uint64_t pending = upto_window - acc_window_[h];
+  std::uint64_t w = acc_window_[h];
   acc_window_[h] = upto_window;
-  if (pending == 0 || options_.decay == 1.0) return;
-  // One multiplication per skipped window — identical rounding to the
-  // eager recurrence acc = 0 + decay * acc. Bounded by kDecayFoldPeriod.
-  for (; pending > 0; --pending) {
-    hints_.acc_r[h] *= options_.decay;
-    hints_.acc_s[h] *= options_.decay;
+  // One multiplication per skipped window, oldest first — identical
+  // value and rounding order to the eager per-window recurrences
+  // acc_r = 0 + r_factor * acc_r and acc_s = 0 + decay * acc_s.
+  // Bounded by kDecayFoldPeriod, so every r-factor is still resident
+  // in the ring. A factor of exactly 1.0 is a bit-exact no-op and is
+  // skipped (the pre-adaptive fast path).
+  const double s_decay = options_.decay;
+  for (; w < upto_window;) {
+    ++w;
+    const double f = decay_ring_[w % kDecayRingSize];
+    if (f != 1.0) hints_.acc_r[h] *= f;
+    if (s_decay != 1.0) hints_.acc_s[h] *= s_decay;
   }
 }
 
@@ -396,7 +504,37 @@ void ClicPolicy::SetPriority(HintSetId h, double priority) {
 
 void ClicPolicy::EndWindow(SeqNum end) {
   const std::uint64_t length = end - window_start_;
-  next_window_end_ = end + options_.window;
+  if (options_.adaptive_window) {
+    // MIMD adaptation: a churn-triggered (or forced) early close halves
+    // the effective window; kStableClosesToGrow consecutive windows
+    // that ran to their scheduled end double it back. Both moves clamp
+    // to [min_window_, max_window_]. Growth is deliberately slower than
+    // shrinkage: a short window keeps the checkpoint cadence fine while
+    // a churn episode is still resolving, and the only cost of staying
+    // short during stability is the rank recompute, not ranking quality
+    // (the decay blend accumulates across windows either way).
+    if (end < next_window_end_) {
+      ++early_closes_;
+      stable_closes_ = 0;
+      effective_window_ = std::max(min_window_, effective_window_ / 2);
+    } else if (++stable_closes_ >= kStableClosesToGrow) {
+      stable_closes_ = 0;
+      effective_window_ = effective_window_ > max_window_ / 2
+                              ? max_window_
+                              : effective_window_ * 2;
+    }
+  }
+  const std::uint64_t next_len =
+      options_.adaptive_window ? effective_window_ : options_.window;
+  next_window_end_ = end + next_len;
+  // First checkpoint at end + min_window_ — a window can never close
+  // before the floor, and a floor-length window has no checkpoints.
+  window_checkpoint_ = (options_.adaptive_window &&
+                        options_.churn_threshold > 0.0 &&
+                        min_window_ < next_len)
+                           ? end + min_window_
+                           : next_window_end_;
+  next_event_ = window_checkpoint_;
   if (length == 0) return;
 
   // Candidate order must match the ascending full-scan order the eager
@@ -487,12 +625,25 @@ void ClicPolicy::EndWindow(SeqNum end) {
   }
 
   // Fold pending decay, blend this window in, and recompute priorities
-  // — candidates only.
+  // — candidates only. A churn-triggered close discounts the
+  // *numerator* history by the measured similarity: scaling both
+  // accumulators would cancel in the Equation-2 ratio and leave every
+  // stale hint set's priority untouched, which with the paper's r = 1
+  // would pin the previous phase at the top of the ranking forever.
+  // Discounting acc_r alone demotes a stale set's priority by exactly
+  // how badly its committed rank predicted the live ranking. The ring
+  // records the per-window r-factor so the lazy fold replays it for
+  // hints untouched this window; acc_s always folds with the constant
+  // configured decay.
   const double decay = options_.decay;
+  const bool churned = churn_discount_ != 1.0;
+  const double r_factor = decay * churn_discount_;
+  churn_discount_ = 1.0;
   const std::uint64_t this_window = windows_completed_ + 1;
+  decay_ring_[this_window % kDecayRingSize] = r_factor;
   for (HintSetId h : touched_) {
     FoldDecay(h, windows_completed_);
-    hints_.acc_r[h] = win_r_[h] + decay * hints_.acc_r[h];
+    hints_.acc_r[h] = win_r_[h] + r_factor * hints_.acc_r[h];
     hints_.acc_s[h] = win_s_[h] + decay * hints_.acc_s[h];
     acc_window_[h] = this_window;
     const bool ok = exact || eligible_[h];
@@ -502,14 +653,26 @@ void ClicPolicy::EndWindow(SeqNum end) {
   }
 
   // Untouched hints keep their previous priority (case 2 above) except:
-  // approximate trackers make every unreferenced hint ineligible, and
-  // decay == 0 zeroes its history. Both zero exactly the untouched
-  // members of the positive set. (Downward loop: SetPriority(., 0)
-  // swap-removes, moving an already-visited tail element into slot i.)
-  if (!exact || decay == 0.0) {
+  // approximate trackers make every unreferenced hint ineligible, a
+  // zero blend factor (decay == 0) zeroes its history, and a churn
+  // close changes the ratio itself (r shrinks, s does not), so every
+  // untouched hint is folded and re-ranked eagerly right here — the
+  // whole point of the discount is that the stale sets lose this
+  // window's rank sort, not some later one. (Downward sweep loop:
+  // SetPriority(., 0) swap-removes, moving an already-visited tail
+  // element into slot i.)
+  if (!exact || (!churned && r_factor == 0.0)) {
     for (std::size_t i = positive_.size(); i-- > 0;) {
       const HintSetId h = positive_[i];
       if (!touched_flag_[h]) SetPriority(h, 0.0);
+    }
+  } else if (churned) {
+    for (std::size_t h = 0; h < n; ++h) {
+      if (touched_flag_[h]) continue;
+      FoldDecay(static_cast<HintSetId>(h), this_window);
+      SetPriority(static_cast<HintSetId>(h),
+                  hints_.acc_s[h] > 0.0 ? hints_.acc_r[h] / hints_.acc_s[h]
+                                        : 0.0);
     }
   }
 
@@ -550,11 +713,17 @@ void ClicPolicy::EndWindow(SeqNum end) {
   if (space_saving_) space_saving_->Clear();
   if (lossy_counting_) lossy_counting_->Clear();
   window_start_ = end;
+  ckpt_total_base_ = 0;
+  ckpt_pred_base_ = 0;
   ++windows_completed_;
 
-  // Periodic full fold: bounds the lazy fold's per-hint backlog and
-  // keeps long-idle accumulators numerically identical to eager decay.
-  if (decay != 1.0 && windows_completed_ % kDecayFoldPeriod == 0) {
+  // Periodic full fold: bounds the lazy fold's per-hint backlog (the
+  // decay ring only holds the last kDecayRingSize factors) and keeps
+  // long-idle accumulators numerically identical to eager decay. With
+  // adaptive windowing the fold must run even at decay == 1: a churn
+  // close puts a non-unit factor in the ring.
+  if ((decay != 1.0 || options_.adaptive_window) &&
+      windows_completed_ % kDecayFoldPeriod == 0) {
     for (std::size_t h = 0; h < n; ++h) {
       FoldDecay(static_cast<HintSetId>(h), windows_completed_);
     }
@@ -581,10 +750,15 @@ std::vector<std::pair<HintSetId, double>> ClicPolicy::Priorities() const {
   const std::size_t n = hints_.size();
   out.reserve(n);
   for (std::size_t h = 0; h < n; ++h) {
-    // Accumulators fold lazily; a positive decay never changes whether
-    // they are zero, but decay == 0 zeroes any hint with folds pending.
-    const bool stale_zero =
-        options_.decay == 0.0 && acc_window_[h] != windows_completed_;
+    // Accumulators fold lazily; a positive factor never changes whether
+    // they are zero, but a zero factor (decay == 0, or a churn close at
+    // similarity exactly 0) in a pending window zeroes the history.
+    bool stale_zero = false;
+    for (std::uint64_t w = acc_window_[h];
+         w < windows_completed_ && !stale_zero;) {
+      ++w;
+      stale_zero = decay_ring_[w % kDecayRingSize] == 0.0;
+    }
     if (!stale_zero && (hints_.acc_s[h] > 0.0 || hints_.acc_r[h] > 0.0)) {
       out.emplace_back(static_cast<HintSetId>(h), hints_.priority[h]);
     }

@@ -53,6 +53,28 @@ struct ClicOptions {
   bool generalize = false;
   /// Registry for attribute lookups; required when generalize is true.
   std::shared_ptr<const HintRegistry> hint_space;
+
+  // -- Adaptive windowing (churn-triggered early close) ---------------------
+  // At the half-window checkpoint the live partial-window Equation-2
+  // priorities (from the already-maintained refs/rerefs/area state) are
+  // rank-correlated with the previous window's committed ranks; when the
+  // similarity collapses below churn_threshold the window closes early.
+  // The effective window halves on each early close and doubles back
+  // while the signal stays stable, clamped to [min_window, max_window].
+  // The whole mechanism is a pure function of the request stream, so
+  // adaptive replay stays bit-identical across batch sizes and threads.
+
+  /// Master switch; off reproduces the fixed-window paper behaviour
+  /// bit-for-bit.
+  bool adaptive_window = false;
+  /// Early-close trigger: rank similarity in [0, 1] ((Spearman rho+1)/2).
+  /// 0 never closes early, which (with the default ceiling) is also
+  /// bit-identical to the fixed window.
+  double churn_threshold = 0.5;
+  /// Floor on the effective window length; 0 means window / 16.
+  std::uint64_t min_window = 0;
+  /// Ceiling on the effective window length; 0 means window.
+  std::uint64_t max_window = 0;
 };
 
 class ClicPolicy : public Policy {
@@ -80,6 +102,12 @@ class ClicPolicy : public Policy {
   std::size_t cache_capacity() const { return cache_capacity_; }
   std::size_t outqueue_capacity() const { return outqueue_capacity_; }
   std::uint64_t windows_completed() const { return windows_completed_; }
+  /// Scheduled length of the window currently being filled (== the
+  /// configured window when adaptive mode is off).
+  std::uint64_t effective_window() const { return effective_window_; }
+  /// Windows closed early by the churn trigger (0 when adaptive mode is
+  /// off or the signal stayed stable).
+  std::uint64_t early_closes() const { return early_closes_; }
 
  private:
   // Slots live in one flat arena covering cache + outqueue residents.
@@ -128,6 +156,22 @@ class ClicPolicy : public Policy {
   void EnsureHint(HintSetId h);
   void FlushArea(HintSetId h, SeqNum now);
   void Annotate(Slot& slot, HintSetId hint, SeqNum now);
+  /// The one per-request window check: seq reached either the armed
+  /// half-window checkpoint (evaluate churn, maybe close early) or the
+  /// scheduled window end (close). Exactly one state transition per
+  /// call, so degenerate seq jumps behave the same on the scalar and
+  /// batched paths.
+  void HandleWindowEvent(SeqNum seq);
+  /// Rank similarity in [0, 1] between the previous window's committed
+  /// ranks and live partial-window behaviour: the fraction of this
+  /// window's re-references (the Equation-2 numerator evidence) landing
+  /// in hint sets the committed ranking placed in its top half. 1 when
+  /// the ranking still predicts where value accrues, 0 when every
+  /// re-reference lands in sets it ranked bottom-half or not at all.
+  /// Measured over the interval since the previous checkpoint (the
+  /// snapshot bases are the only state it mutates), so a mid-window
+  /// shift is not diluted by pre-shift mass.
+  double ChurnSimilarity();
   void EndWindow(SeqNum end);
   void RebuildBuckets();
   void EvictOne(SeqNum now);
@@ -150,8 +194,11 @@ class ClicPolicy : public Policy {
     }
   }
   /// Applies the decay scalings this hint set skipped while untouched,
-  /// one multiplication per skipped window — bit-identical to the eager
-  /// per-window recurrence acc = 0 + decay * acc.
+  /// one multiplication per skipped window in ascending window order —
+  /// bit-identical to the eager per-window recurrence
+  /// acc = 0 + factor_w * acc, where factor_w is the per-window entry
+  /// in decay_ring_ (a constant options_.decay unless a churn-triggered
+  /// close discounted that window).
   void FoldDecay(HintSetId h, std::uint64_t upto_window);
   /// Sets the hint's priority and maintains the positive set (hints
   /// with priority > 0, the only ones that receive non-zero ranks).
@@ -160,6 +207,21 @@ class ClicPolicy : public Policy {
   /// Full FoldDecay sweep every this many windows, bounding the lazy
   /// per-hint fold to at most this many multiplications.
   static constexpr std::uint64_t kDecayFoldPeriod = 16;
+  /// Below this many ranked hint sets a rank correlation is noise, so
+  /// the churn signal reports perfect stability instead.
+  static constexpr std::size_t kMinChurnSignalHints = 4;
+  /// Ring of per-window decay factors for the lazy fold. Must exceed
+  /// kDecayFoldPeriod: the periodic full fold bounds any pending fold
+  /// to the last kDecayFoldPeriod windows, so their factors are always
+  /// still resident.
+  static constexpr std::size_t kDecayRingSize = 32;
+  /// Consecutive full-length closes required before the effective
+  /// window doubles back toward max_window_. Shrinking is immediate
+  /// (every churn close halves) but growth is paced: a fine checkpoint
+  /// cadence must persist through a churn episode, and a short window
+  /// during stability only costs rank-recompute work, never ranking
+  /// quality (the decay blend accumulates across windows either way).
+  static constexpr std::uint64_t kStableClosesToGrow = 2;
 
   // Intrusive list helpers over slots_.
   void GListPushFront(List& list, std::uint32_t i);
@@ -203,6 +265,40 @@ class ClicPolicy : public Policy {
   SeqNum next_window_end_;
   SeqNum last_seq_ = 0;
   std::uint64_t windows_completed_ = 0;
+
+  // Adaptive-window state. next_event_ is the next seq at which the
+  // access path must stop and run HandleWindowEvent: the armed
+  // checkpoint if one is pending, else the window end (with adaptive
+  // mode off it always equals next_window_end_, and the hot path's
+  // single branch is unchanged). Invariant: window_checkpoint_ <=
+  // next_window_end_, equal when no checkpoint is armed.
+  SeqNum window_checkpoint_;
+  SeqNum next_event_;
+  std::uint64_t effective_window_;      // in [min_window_, max_window_]
+  /// Churn-signal cadence: checkpoints fire every max(1, min_window/2)
+  /// requests regardless of the current effective window, so
+  /// worst-case shift-detection latency stays ~min_window even after
+  /// the window has geometrically re-expanded.
+  std::uint64_t checkpoint_interval_ = 1;
+  /// Cumulative (total, top-half-predicted) re-reference mass already
+  /// consumed by earlier checkpoints of the current window; EndWindow
+  /// zeroes both alongside rerefs_w.
+  std::uint64_t ckpt_total_base_ = 0;
+  std::uint64_t ckpt_pred_base_ = 0;
+  std::uint64_t min_window_ = 1;
+  std::uint64_t max_window_ = 1;
+  std::uint64_t early_closes_ = 0;
+  std::uint64_t stable_closes_ = 0;     // consecutive full-length closes
+  /// decay_ring_[w % kDecayRingSize] is the factor window w's close
+  /// applied to the pre-existing acc_r history: options_.decay
+  /// normally, options_.decay * similarity on a churn-triggered close.
+  /// acc_s always scales by the plain configured decay — discounting
+  /// both would cancel in the Equation-2 ratio and demote nothing, so
+  /// the discount deliberately shrinks only the re-reference evidence.
+  double decay_ring_[kDecayRingSize];
+  /// Measured similarity of a pending churn-triggered close, consumed
+  /// (and reset to 1) by the next EndWindow's blend factor.
+  double churn_discount_ = 1.0;
 
   std::unique_ptr<SpaceSaving<HintSetId>> space_saving_;
   std::unique_ptr<LossyCounting<HintSetId>> lossy_counting_;

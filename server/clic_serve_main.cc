@@ -140,6 +140,10 @@ void Usage(std::FILE* out) {
       "CLIC options (when --policy=CLIC):\n"
       "  --window=W --decay=R --outqueue=N --no-charge-metadata\n"
       "  --tracker=exact|space_saving|lossy_counting --top-k=K\n"
+      "  --adaptive-window --churn-threshold=S (in [0, 1])\n"
+      "  --min-window=N --max-window=N  effective-window bounds\n"
+      "                     (defaults: window/16 and window; see\n"
+      "                     DESIGN.md \"Adaptive windowing\")\n"
       "\n"
       "Output:\n"
       "  --format=csv|json  summary row (csv) or full object (json)\n"
@@ -202,6 +206,10 @@ CliOptions Parse(int argc, char** argv) {
     }
     if (arg == "--no-charge-metadata") {
       opts.server.clic.charge_metadata = false;
+      continue;
+    }
+    if (arg == "--adaptive-window") {
+      opts.server.clic.adaptive_window = true;
       continue;
     }
     const std::size_t eq = arg.find('=');
@@ -315,6 +323,12 @@ CliOptions Parse(int argc, char** argv) {
       opts.cache_dir = value;
     } else if (key == "--window") {
       opts.server.clic.window = cli::ParseU64(kProg, key, value);
+    } else if (key == "--churn-threshold") {
+      opts.server.clic.churn_threshold = cli::ParseDouble(kProg, key, value);
+    } else if (key == "--min-window") {
+      opts.server.clic.min_window = cli::ParseU64(kProg, key, value);
+    } else if (key == "--max-window") {
+      opts.server.clic.max_window = cli::ParseU64(kProg, key, value);
     } else if (key == "--decay") {
       opts.server.clic.decay = cli::ParseDouble(kProg, key, value);
     } else if (key == "--outqueue") {
@@ -348,6 +362,7 @@ CliOptions Parse(int argc, char** argv) {
     Die("--trace (or --workload) is required (valid traces: " +
         cli::KnownWorkloadNames() + ")");
   }
+  cli::RequireValidAdaptiveWindow(kProg, opts.server.clic);
   if (opts.verify && !opts.server.deterministic) {
     Die("--verify requires --deterministic (concurrent interleaving is "
         "timing-dependent by design)");

@@ -50,6 +50,10 @@ struct ClicFlagSet {
   bool top_k = false;
   bool tracker = false;
   bool charge_metadata = false;
+  bool adaptive_window = false;
+  bool churn_threshold = false;
+  bool min_window = false;
+  bool max_window = false;
 };
 
 void Usage(std::FILE* out) {
@@ -79,6 +83,12 @@ void Usage(std::FILE* out) {
       "CLIC options (defaults are the paper's Section 6.1 setup):\n"
       "  --window=W --decay=R --outqueue=N --no-charge-metadata\n"
       "  --tracker=exact|space_saving|lossy_counting --top-k=K\n"
+      "  --adaptive-window  churn-triggered early window close (see\n"
+      "                     DESIGN.md \"Adaptive windowing\")\n"
+      "  --churn-threshold=S  early-close rank-similarity trigger in "
+      "[0, 1]\n"
+      "  --min-window=N --max-window=N  effective-window bounds\n"
+      "                     (defaults: window/16 and window)\n"
       "\n"
       "Output:\n"
       "  --format=csv|json  csv: header + one line per point;\n"
@@ -127,6 +137,10 @@ void ApplyFigurePreset(const std::string& figure, const ClicFlagSet& flags,
   if (flags.charge_metadata) {
     merged.charge_metadata = spec->clic.charge_metadata;
   }
+  if (flags.adaptive_window) merged.adaptive_window = spec->clic.adaptive_window;
+  if (flags.churn_threshold) merged.churn_threshold = spec->clic.churn_threshold;
+  if (flags.min_window) merged.min_window = spec->clic.min_window;
+  if (flags.max_window) merged.max_window = spec->clic.max_window;
   spec->clic = merged;
 }
 
@@ -174,6 +188,11 @@ CliOptions Parse(int argc, char** argv) {
       clic_flags.charge_metadata = true;
       continue;
     }
+    if (arg == "--adaptive-window") {
+      cli.spec.clic.adaptive_window = true;
+      clic_flags.adaptive_window = true;
+      continue;
+    }
     const std::size_t eq = arg.find('=');
     if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
       Die("unrecognized argument '" + arg + "'");
@@ -199,6 +218,15 @@ CliOptions Parse(int argc, char** argv) {
     } else if (key == "--window") {
       cli.spec.clic.window = ParseU64(key, value);
       clic_flags.window = true;
+    } else if (key == "--churn-threshold") {
+      cli.spec.clic.churn_threshold = ParseDouble(key, value);
+      clic_flags.churn_threshold = true;
+    } else if (key == "--min-window") {
+      cli.spec.clic.min_window = ParseU64(key, value);
+      clic_flags.min_window = true;
+    } else if (key == "--max-window") {
+      cli.spec.clic.max_window = ParseU64(key, value);
+      clic_flags.max_window = true;
     } else if (key == "--decay") {
       cli.spec.clic.decay = ParseDouble(key, value);
       clic_flags.decay = true;
@@ -257,6 +285,7 @@ CliOptions Parse(int argc, char** argv) {
         "--cache-pages");
   }
   ValidateTraceNames(cli.spec.traces);
+  cli::RequireValidAdaptiveWindow(kProg, cli.spec.clic);
   return cli;
 }
 

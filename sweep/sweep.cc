@@ -210,6 +210,15 @@ std::optional<SweepSpec> FigureSpec(const std::string& figure) {
     // scenarios".
     spec.clic.window = 20'000;
     spec.clic.decay = 0.2;
+  } else if (figure == "phase-shift-adaptive") {
+    // The same phase grid with the paper's untouched W=1e5/r=1 plus the
+    // churn-triggered adaptive window: CLIC recovers from abrupt shifts
+    // without the hand-tuned window/decay the fixed preset needs
+    // (measured in bench/README.md "Adaptive windowing").
+    spec.traces = {"phase-abrupt", "phase-gradual"};
+    spec.policies = scenario_policies;
+    spec.cache_sizes = {6'000, 12'000, 18'000};
+    spec.clic.adaptive_window = true;
   } else if (figure == "tenant-mix") {
     spec.traces = {"tenant-mix4"};
     spec.policies = scenario_policies;

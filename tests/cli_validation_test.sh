@@ -170,6 +170,33 @@ expect_reject "clic_serve verify vs net reset" "net:reset" "baseline" -- \
 expect_reject "clic_serve net fault clause without trigger" "net" "torn-write" -- \
   "$SERVE" --trace=DB2_C60 --fault-plan=net:stall-ms=5
 
+# Adaptive-window flags (PR 10): the churn threshold is a similarity in
+# [0, 1], the resolved floor/ceiling pair must not be inverted (whether
+# explicit or defaulted from the window), and a zero window can anchor
+# neither a fixed nor an adaptive schedule — both tools share the
+# validator, so both must reject with the same wording.
+expect_reject "clic_sweep churn threshold above one" "1.5" "[0, 1]" -- \
+  "$SWEEP" --traces=DB2_C60 --policies=CLIC --cache-pages=100 \
+  --adaptive-window --churn-threshold=1.5
+expect_reject "clic_sweep negative churn threshold" "-0.5" "non-negative" -- \
+  "$SWEEP" --traces=DB2_C60 --policies=CLIC --cache-pages=100 \
+  --adaptive-window --churn-threshold=-0.5
+expect_reject "clic_sweep inverted window bounds" "--min-window=5000" "min-window <= max-window" -- \
+  "$SWEEP" --traces=DB2_C60 --policies=CLIC --cache-pages=100 \
+  --adaptive-window --min-window=5000 --max-window=200
+expect_reject "clic_sweep defaulted floor exceeds explicit ceiling" "defaulted to window/16" "min-window <= max-window" -- \
+  "$SWEEP" --traces=DB2_C60 --policies=CLIC --cache-pages=100 \
+  --adaptive-window --window=100000 --max-window=100
+expect_reject "clic_sweep adaptive with zero window" "--window" "positive integer" -- \
+  "$SWEEP" --traces=DB2_C60 --policies=CLIC --cache-pages=100 \
+  --adaptive-window --window=0
+expect_reject "clic_serve churn threshold above one" "2" "[0, 1]" -- \
+  "$SERVE" --trace=DB2_C60 --adaptive-window --churn-threshold=2
+expect_reject "clic_serve inverted window bounds" "--min-window=9" "min-window <= max-window" -- \
+  "$SERVE" --trace=DB2_C60 --adaptive-window --min-window=9 --max-window=3
+expect_reject "clic_serve adaptive with zero window" "--window" "positive integer" -- \
+  "$SERVE" --trace=DB2_C60 --adaptive-window --window=0
+
 # Batch larger than the request budget is a typo, not a workload. This
 # one loads (a tiny capped slice of) the trace, so point the cache at a
 # scratch dir to keep the test hermetic.

@@ -178,6 +178,148 @@ TEST(ClicWindowTest, MetadataChargeShrinksCache) {
   EXPECT_EQ(free_meta.cache_capacity(), 1'000u);
 }
 
+TEST(ClicWindowTest, IrregularWindowAdvanceKeepsLazyFoldExact) {
+  // FoldDecay boundary pin: with adaptive mode on, ForceEndWindow()
+  // closes windows early, so windows_completed_ advances irregularly
+  // relative to seq and the every-16-windows full fold fires at odd
+  // phases. A hint set left untouched through >32 such windows must
+  // (1) keep its committed priority bit-exactly (the fold scales both
+  // accumulators by the same factor), and (2) when finally re-touched,
+  // carry accumulators equal to the eager per-window recurrence — one
+  // multiplication by decay per completed window, no window skipped or
+  // double-counted by the ring replay.
+  //
+  // Window 1 (length 16) hand-computed like HandComputedEquation2:
+  //   seq 0: p1 A miss, seq 1: p2 A miss (area_A += 1)
+  //   seq 2: p1 A hit (R_A=1), seq 3: p2 A hit (R_A=2)
+  //   seq 4-7: p3..p6 B misses; p5/p6 evict p1/p2 (cache 4):
+  //     area_A += 2*5 (seq 6) + 1*1 (seq 7) -> 12, cur_A = 0
+  //   seq 8-15: p3..p6 hit twice each (R_B = 8)
+  //   close at seq 16: win_r_A = 2, win_s_A = 12/16, priority_A = 8/3.
+  ClicOptions options = BareOptions(16);
+  options.decay = 0.5;
+  options.adaptive_window = true;
+  options.churn_threshold = 0.0;  // no checkpoints; closes are forced
+  options.min_window = 16;        // pin the effective window at 16
+  options.max_window = 16;
+  ClicPolicy clic(4, options);
+  Driver d(&clic);
+  d.Read(1, kA);
+  d.Read(2, kA);
+  d.Read(1, kA);
+  d.Read(2, kA);
+  for (PageId p = 3; p <= 6; ++p) d.Read(p, kB);
+  for (int rep = 0; rep < 2; ++rep) {
+    for (PageId p = 3; p <= 6; ++p) d.Read(p, kB);
+  }
+  d.Read(3, kB);  // seq 16: closes window 1 at its scheduled boundary
+  ASSERT_EQ(clic.windows_completed(), 1u);
+  const double committed_a = PriorityMap(clic).at(kA);
+  EXPECT_DOUBLE_EQ(committed_a, 2.0 / 0.75);
+
+  // Drive 40 irregular windows of pure-B traffic (all hits, so A's
+  // pages stay evicted and A is never a candidate). Every forced close
+  // is an early close; the stored priority of untouched A must never
+  // move, across both periodic full folds (windows 16 and 32).
+  PageId rotate = 3;
+  for (int w = 0; w < 40; ++w) {
+    for (int i = 0; i < 5; ++i) {
+      d.Read(rotate, kB);
+      rotate = rotate == 6 ? 3 : rotate + 1;
+    }
+    clic.ForceEndWindow();
+    ASSERT_EQ(PriorityMap(clic).at(kA), committed_a)
+        << "untouched priority moved after irregular close " << w;
+  }
+  ASSERT_GE(clic.windows_completed(), 33u);  // crossed two full folds
+  ASSERT_GT(clic.early_closes(), 0u);
+
+  // Re-touch A in a length-1 window: one fresh page annotated A for
+  // exactly one seq gives win_r = 0, win_s = 1. The eager recurrence
+  // over the m completed windows is m multiplications by 0.5 on each
+  // accumulator (ring replay + the close's own blend), all exact in
+  // binary floating point.
+  const std::uint64_t m = clic.windows_completed();
+  clic.ForceEndWindow();  // length 0: reschedules only, no close
+  ASSERT_EQ(clic.windows_completed(), m);
+  d.Read(9, kA);
+  clic.ForceEndWindow();
+  double expected_r = 2.0, expected_s = 0.75;
+  for (std::uint64_t i = 0; i < m; ++i) {
+    expected_r *= 0.5;
+    expected_s *= 0.5;
+  }
+  EXPECT_DOUBLE_EQ(PriorityMap(clic).at(kA),
+                   expected_r / (1.0 + expected_s));
+}
+
+TEST(ClicWindowTest, ChurnCloseDiscountsStalePrioritiesExactly) {
+  // The churn-triggered close discounts only acc_r, so every hint set
+  // untouched at that close must see its committed priority scale by
+  // exactly the measured similarity — here engineered to be 1/4: of
+  // the four re-references in the first checkpoint interval of window
+  // 2, one lands in the committed top half (the best-ranked set),
+  // three land on a rank-0 set.
+  ClicOptions options = BareOptions(100);  // decay = 1 (paper default)
+  options.adaptive_window = true;
+  options.churn_threshold = 0.5;
+  options.min_window = 10;  // first checkpoint 10 requests into a window
+  ClicPolicy clic(4, options);
+  Driver d(&clic);
+  constexpr HintSetId kC = 2, kD = 3, kE = 4;
+  // Window 1: four hint sets with positive priorities (distinct
+  // re-reference counts), all of their pages evicted by an E-hinted
+  // scan before the close, so A..D are untouched afterwards.
+  d.Read(10, kA);
+  for (int i = 0; i < 4; ++i) d.Read(10, kA);
+  d.Read(20, kB);
+  for (int i = 0; i < 3; ++i) d.Read(20, kB);
+  d.Read(30, kC);
+  for (int i = 0; i < 2; ++i) d.Read(30, kC);
+  d.Read(40, kD);
+  d.Read(40, kD);
+  for (PageId p = 50; p <= 53; ++p) d.Read(p, kE);  // evicts 10,20,30,40
+  clic.ForceEndWindow();
+  ASSERT_EQ(clic.windows_completed(), 1u);
+  const auto before = PriorityMap(clic);
+  ASSERT_GT(before.at(kA), 0.0);
+  ASSERT_GT(before.at(kB), 0.0);
+  ASSERT_GT(before.at(kC), 0.0);
+  ASSERT_GT(before.at(kD), 0.0);
+  ASSERT_EQ(before.at(kE), 0.0);
+
+  // The committed top-half = the two highest (priority, id) pairs of
+  // the four ranked sets — the same order EndWindow ranks by.
+  std::vector<std::pair<double, HintSetId>> ranked = {
+      {before.at(kA), kA}, {before.at(kB), kB},
+      {before.at(kC), kC}, {before.at(kD), kD}};
+  std::sort(ranked.begin(), ranked.end());
+  const HintSetId top_hint = ranked[3].second;
+
+  // Window 2: three E re-references (hits on the scan's cached pages),
+  // one re-reference on a fresh page annotated with the top-ranked
+  // set, and enough fresh misses to reach the first checkpoint with no
+  // further re-references. similarity = 1/4 < 1/2 fires the close.
+  d.Read(50, kE);
+  d.Read(51, kE);
+  d.Read(52, kE);
+  d.Read(60, top_hint);  // miss: evicts rank-0 page 53
+  d.Read(60, top_hint);  // the one top-half re-reference
+  for (PageId p = 70; p <= 74; ++p) d.Read(p, kE);
+  const std::uint64_t early_before = clic.early_closes();
+  d.Read(74, kE);  // request 10 of the window: checkpoint fires first
+  ASSERT_EQ(clic.early_closes(), early_before + 1)
+      << "engineered churn interval did not trigger the early close";
+  ASSERT_EQ(clic.windows_completed(), 2u);
+
+  const auto after = PriorityMap(clic);
+  for (const HintSetId h : {kA, kB, kC, kD}) {
+    if (h == top_hint) continue;  // touched: blended, not just scaled
+    EXPECT_EQ(after.at(h), 0.25 * before.at(h))
+        << "stale hint " << h << " not discounted by exactly sim=1/4";
+  }
+}
+
 TEST(HintClassTreeTest, GroupsByInformativeAttribute) {
   // Attribute 0 determines behaviour; attribute 1 is per-variant noise.
   HintRegistry registry;
